@@ -1,0 +1,72 @@
+//! Rereference Matrix construction cost — the preprocessing step of
+//! Table IV. Sweeps graph size, quantization width, and worker count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use popt_bench::bench_graph;
+use popt_core::{preprocess, Encoding, Quantization, RerefMatrix};
+
+fn build_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reref_build/size");
+    group.sample_size(10);
+    for vertices in [8_192usize, 32_768, 131_072] {
+        let g = bench_graph(vertices);
+        group.throughput(Throughput::Elements(g.num_edges() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(vertices), &g, |b, g| {
+            b.iter(|| {
+                RerefMatrix::build(
+                    g.out_csr(),
+                    16,
+                    1,
+                    Quantization::EIGHT,
+                    Encoding::InterIntra,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn build_by_quantization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reref_build/quantization");
+    group.sample_size(10);
+    let g = bench_graph(32_768);
+    for quant in [Quantization::FOUR, Quantization::EIGHT] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(quant.bits()),
+            &quant,
+            |b, &quant| {
+                b.iter(|| RerefMatrix::build(g.out_csr(), 16, 1, quant, Encoding::InterIntra))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn build_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reref_build/threads");
+    group.sample_size(10);
+    let g = bench_graph(65_536);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                preprocess::build_parallel(
+                    g.out_csr(),
+                    16,
+                    1,
+                    Quantization::EIGHT,
+                    Encoding::InterIntra,
+                    t,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    build_by_size,
+    build_by_quantization,
+    build_parallel
+);
+criterion_main!(benches);

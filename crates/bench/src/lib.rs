@@ -1,0 +1,18 @@
+//! Shared fixtures for the Criterion benches.
+
+use popt_graph::{generators, Graph};
+
+/// Deterministic benchmark graph: uniform random, average degree 4.
+pub fn bench_graph(vertices: usize) -> Graph {
+    generators::uniform_random(vertices, vertices * 4, 0xbe9c)
+}
+
+/// Deterministic skewed benchmark graph.
+pub fn bench_graph_skewed(scale: u32) -> Graph {
+    generators::rmat(
+        scale,
+        (1usize << scale) * 4,
+        generators::RmatParams::KRONECKER,
+        0xbe9c,
+    )
+}

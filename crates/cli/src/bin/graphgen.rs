@@ -1,0 +1,229 @@
+//! `graphgen` — generate, convert and inspect graph files.
+//!
+//! ```text
+//! graphgen gen   <kind> <out.bin> [--scale N | --vertices N] [--edges M] [--seed S]
+//! graphgen conv  <in> <out.bin>            # edge list / MatrixMarket / binary -> binary
+//! graphgen stats <path>                    # Table III-style summary
+//! graphgen trace <path> <app> <out.trc>    # record an app's access trace
+//! graphgen reref <path> <out.rrm> [--pull|--push] [--bits N]
+//!                                           # precompute a Rereference Matrix
+//! ```
+//!
+//! `kind` ∈ {urand, kron, powerlaw, community, mesh}. The binary format is
+//! `popt_graph::io::write_binary`; traces use `popt_trace::file`.
+
+use popt_graph::{generators, io, stats, Graph};
+use popt_kernels::App;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  graphgen gen <urand|kron|powerlaw|community|mesh> <out> \
+         [--scale N|--vertices N] [--edges M] [--seed S]\n  graphgen conv <in> <out>\n  \
+         graphgen stats <path>\n  graphgen trace <path> <pr|cc|pr-delta|radii|mis> <out>\n  \
+         graphgen reref <path> <out.rrm> [--push] [--bits N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn generate(kind: &str, args: &[String]) -> Option<Graph> {
+    let seed = parse_flag(args, "--seed").unwrap_or(42);
+    let scale = parse_flag(args, "--scale").unwrap_or(16) as u32;
+    let vertices = parse_flag(args, "--vertices").unwrap_or(1 << scale) as usize;
+    let edges = parse_flag(args, "--edges").unwrap_or(4 * vertices as u64) as usize;
+    match kind {
+        "urand" => Some(generators::uniform_random(vertices, edges, seed)),
+        "kron" => Some(generators::rmat(
+            scale,
+            edges,
+            generators::RmatParams::KRONECKER,
+            seed,
+        )),
+        "powerlaw" => Some(generators::rmat(
+            scale,
+            edges,
+            generators::RmatParams::POWER_LAW,
+            seed,
+        )),
+        "community" => {
+            let communities = parse_flag(args, "--communities").unwrap_or(64) as usize;
+            Some(generators::community(
+                vertices,
+                edges,
+                communities,
+                0.95,
+                seed,
+            ))
+        }
+        "mesh" => {
+            let side = (vertices as f64).sqrt() as usize;
+            Some(generators::mesh(side.max(2), 0, seed))
+        }
+        _ => None,
+    }
+}
+
+fn print_stats(g: &Graph) {
+    let s = stats::graph_stats(g);
+    println!("vertices      {}", s.num_vertices);
+    println!("edges         {}", s.num_edges);
+    println!("avg degree    {:.2}", s.average_degree);
+    println!("max out-deg   {}", s.max_out_degree);
+    println!("max in-deg    {}", s.max_in_degree);
+    println!("degree gini   {:.3}", s.degree_gini);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") if args.len() >= 3 => {
+            let Some(g) = generate(&args[1], &args[3..]) else {
+                return usage();
+            };
+            let file = match std::fs::File::create(&args[2]) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot create {}: {e}", args[2]);
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = io::write_binary(&g, file) {
+                eprintln!("write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            print_stats(&g);
+            ExitCode::SUCCESS
+        }
+        Some("conv") if args.len() == 3 => {
+            let g = match io::read_path(&args[1]) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", args[1]);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let file = match std::fs::File::create(&args[2]) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot create {}: {e}", args[2]);
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = io::write_binary(&g, file) {
+                eprintln!("write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            print_stats(&g);
+            ExitCode::SUCCESS
+        }
+        Some("stats") if args.len() == 2 => match io::read_path(&args[1]) {
+            Ok(g) => {
+                print_stats(&g);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", args[1]);
+                ExitCode::FAILURE
+            }
+        },
+        Some("trace") if args.len() == 4 => {
+            let g = match io::read_path(&args[1]) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", args[1]);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let app = match args[2].as_str() {
+                "pr" => App::Pagerank,
+                "cc" => App::Components,
+                "pr-delta" => App::PagerankDelta,
+                "radii" => App::Radii,
+                "mis" => App::Mis,
+                other => {
+                    eprintln!("unknown app {other}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let file = match std::fs::File::create(&args[3]) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot create {}: {e}", args[3]);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut writer = match popt_trace::file::TraceWriter::new(file) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("cannot start trace: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let plan = app.plan(&g);
+            app.trace(&g, &plan, &mut writer);
+            let events = writer.events_written();
+            if let Err(e) = writer.finish() {
+                eprintln!("trace flush failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("{events} events written to {}", args[3]);
+            ExitCode::SUCCESS
+        }
+        Some("reref") if args.len() >= 3 => {
+            // The paper's amortization story (Section VII-D): the matrix is
+            // algorithm agnostic — build it once per graph and reuse it
+            // across applications.
+            let g = match io::read_path(&args[1]) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", args[1]);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let bits = parse_flag(&args[3..], "--bits").unwrap_or(8) as u8;
+            let push = args.iter().any(|a| a == "--push");
+            let transpose = if push { g.in_csr() } else { g.out_csr() };
+            let quant = popt_core::Quantization::new(bits);
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            let (matrix, report) = popt_core::preprocess::timed_build(
+                transpose,
+                16,
+                1,
+                quant,
+                popt_core::Encoding::InterIntra,
+                threads,
+            );
+            let file = match std::fs::File::create(&args[2]) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot create {}: {e}", args[2]);
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = popt_core::serialize::write_matrix(&matrix, file) {
+                eprintln!("write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "built in {:.1} ms ({} threads): {} lines x {} epochs, column {} KB, total {} KB",
+                report.duration.as_secs_f64() * 1000.0,
+                report.threads,
+                matrix.num_lines(),
+                matrix.num_epochs(),
+                matrix.column_bytes() / 1024,
+                matrix.total_bytes() / 1024,
+            );
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

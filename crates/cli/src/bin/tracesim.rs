@@ -1,0 +1,116 @@
+//! `tracesim` — replay a recorded trace file (see `graphgen trace`)
+//! through the cache hierarchy under a chosen baseline policy, printing
+//! hierarchy statistics. Completes the decoupled capture/simulate workflow
+//! of Pin-style studies; runs with `--policy opt` perform the two-pass
+//! Belady replay automatically.
+//!
+//! ```text
+//! tracesim <trace.trc> [--policy NAME] [--llc BYTES] [--ways N] [--cores N]
+//! ```
+
+use popt_sim::policies::Belady;
+use popt_sim::{CacheConfig, Hierarchy, HierarchyConfig, PolicyKind};
+use std::process::ExitCode;
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first().filter(|a| !a.starts_with('-')) else {
+        eprintln!(
+            "usage: tracesim <trace.trc> [--policy lru|drrip|ship-pc|ship-mem|hawkeye|sdbp|leeway|srrip|brrip|random|opt] [--llc BYTES] [--ways N] [--cores N]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let policy_name = parse_flag(&args, "--policy").unwrap_or_else(|| "drrip".to_string());
+    let llc_bytes: usize = parse_flag(&args, "--llc")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256 * 1024);
+    let ways: usize = parse_flag(&args, "--ways")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let cores: usize = parse_flag(&args, "--cores")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
+    let mut cfg = HierarchyConfig::scaled_table1();
+    cfg.llc = CacheConfig::new(llc_bytes, ways);
+
+    let kind = match policy_name.as_str() {
+        "lru" => Some(PolicyKind::Lru),
+        "drrip" => Some(PolicyKind::Drrip),
+        "ship-pc" => Some(PolicyKind::ShipPc),
+        "ship-mem" => Some(PolicyKind::ShipMem),
+        "hawkeye" => Some(PolicyKind::Hawkeye),
+        "sdbp" => Some(PolicyKind::Sdbp),
+        "leeway" => Some(PolicyKind::Leeway),
+        "srrip" => Some(PolicyKind::Srrip),
+        "brrip" => Some(PolicyKind::Brrip),
+        "random" => Some(PolicyKind::Random),
+        "opt" => None,
+        other => {
+            eprintln!("unknown policy: {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let stats = match kind {
+        Some(kind) => {
+            let mut h = Hierarchy::with_cores(&cfg, cores, |s, w| kind.build(s, w));
+            if let Err(e) = popt_trace::file::replay(&bytes[..], &mut h) {
+                eprintln!("replay failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            h.stats()
+        }
+        None => {
+            // Two-pass Belady: record the LLC stream, then replay.
+            if cores != 1 {
+                eprintln!("--policy opt requires --cores 1");
+                return ExitCode::FAILURE;
+            }
+            let mut recorder = Hierarchy::new(&cfg, |s, w| PolicyKind::Lru.build(s, w));
+            recorder.start_recording_llc();
+            if let Err(e) = popt_trace::file::replay(&bytes[..], &mut recorder) {
+                eprintln!("replay failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            let llc_stream = recorder.take_llc_recording();
+            let mut h =
+                Hierarchy::new(&cfg, |s, w| Box::new(Belady::from_trace(s, w, &llc_stream)));
+            if let Err(e) = popt_trace::file::replay(&bytes[..], &mut h) {
+                eprintln!("replay failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            h.stats()
+        }
+    };
+
+    println!("policy        {policy_name}");
+    println!("llc           {} KB x {} ways", llc_bytes / 1024, ways);
+    println!("instructions  {}", stats.instructions);
+    for (name, level) in [("l1", &stats.l1), ("l2", &stats.l2), ("llc", &stats.llc)] {
+        println!(
+            "{name:4} accesses {:>10}  misses {:>10}  rate {:5.1}%",
+            level.demand_accesses(),
+            level.misses,
+            level.miss_rate() * 100.0
+        );
+    }
+    println!("llc mpki      {:.2}", stats.llc_mpki());
+    println!("dram traffic  {} lines", stats.dram_transfers());
+    ExitCode::SUCCESS
+}

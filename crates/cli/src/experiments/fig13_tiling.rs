@@ -1,0 +1,79 @@
+//! Figure 13: CSR-segmenting (1-D tiling) interacting with P-OPT.
+//!
+//! Paper claims reproduced: tiling helps both policies, P-OPT reaches a
+//! given miss level with *fewer tiles* than DRRIP ("P-OPT with two tiles
+//! has the same LLC miss reduction as DRRIP with 10 tiles"), and tiling
+//! shrinks P-OPT's resident column (fewer reserved ways).
+
+use crate::runner::{simulate_tiled, PhasePolicy};
+use crate::table::{pct, Table};
+use crate::Scale;
+use popt_graph::suite::{suite_graph, SuiteGraph};
+
+/// Tile counts swept (the paper sweeps 1..10+; powers of two keep tile
+/// boundaries line-aligned).
+pub const TILE_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Runs the experiment on the two large uniform-ish graphs the paper uses.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let cfg = scale.config();
+    let mut table = Table::new(
+        "Figure 13: LLC misses vs untiled DRRIP, tiled PageRank (lower is better)",
+        &["graph", "tiles", "DRRIP", "P-OPT"],
+    );
+    for which in [SuiteGraph::Urand, SuiteGraph::Kron] {
+        let g = suite_graph(which, scale.suite());
+        let base = simulate_tiled(&g, &cfg, 1, PhasePolicy::Drrip).llc.misses;
+        for tiles in TILE_COUNTS {
+            let drrip = simulate_tiled(&g, &cfg, tiles, PhasePolicy::Drrip);
+            let popt = simulate_tiled(&g, &cfg, tiles, PhasePolicy::Popt);
+            table.row(vec![
+                which.to_string(),
+                tiles.to_string(),
+                pct(drrip.llc.misses as f64 / base.max(1) as f64),
+                pct(popt.llc.misses as f64 / base.max(1) as f64),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popt_graph::suite::SuiteScale;
+    use popt_sim::HierarchyConfig;
+
+    #[test]
+    fn popt_needs_fewer_tiles_than_drrip() {
+        // P-OPT with 2 tiles should match or beat DRRIP with 4 on a
+        // uniform random graph — the paper's "mutually-enabling" claim at
+        // small scale.
+        let g = suite_graph(SuiteGraph::Urand, SuiteScale::Small);
+        let cfg = HierarchyConfig::small_test();
+        let popt2 = simulate_tiled(&g, &cfg, 2, PhasePolicy::Popt);
+        let drrip4 = simulate_tiled(&g, &cfg, 4, PhasePolicy::Drrip);
+        assert!(
+            popt2.llc.misses <= drrip4.llc.misses * 11 / 10,
+            "P-OPT@2 tiles ({}) should roughly match DRRIP@4 tiles ({})",
+            popt2.llc.misses,
+            drrip4.llc.misses
+        );
+    }
+
+    #[test]
+    fn tiling_reduces_misses_under_both_policies() {
+        let g = suite_graph(SuiteGraph::Urand, SuiteScale::Small);
+        let cfg = HierarchyConfig::small_test();
+        for policy in [PhasePolicy::Drrip, PhasePolicy::Popt] {
+            let one = simulate_tiled(&g, &cfg, 1, policy);
+            let four = simulate_tiled(&g, &cfg, 4, policy);
+            assert!(
+                four.llc.misses < one.llc.misses,
+                "{policy:?}: 4 tiles ({}) should beat 1 tile ({})",
+                four.llc.misses,
+                one.llc.misses
+            );
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Figure 15: sensitivity to quantization level (4/8/16-bit), as a limit
+//! study (no storage cost charged), plus the replacement tie rates.
+//!
+//! Paper claims reproduced: 8-bit quantization closely approximates T-OPT;
+//! the tie rate explains why — "for P-OPT with 4b, 8b, and 16b
+//! quantization ... 41%, 12%, and 0% of all LLC replacements respectively
+//! result in a tie", and ties are where quantized next-references lose
+//! information.
+//!
+//! Note on scale: a 16-bit Rereference Matrix over a standard-scale graph
+//! is gigabytes (65536 columns); like the paper this is a limit study, so
+//! it always runs on the Small suite regardless of the requested scale.
+
+use crate::experiments::suite;
+use crate::runner::{simulate, PolicySpec};
+use crate::table::{pct, Table};
+use crate::Scale;
+use popt_core::{Encoding, Quantization};
+use popt_kernels::App;
+use popt_sim::PolicyKind;
+
+/// Runs the experiment (always Small scale; see module docs).
+pub fn run(_scale: Scale) -> Vec<Table> {
+    let cfg = Scale::Small.config();
+    let mut table = Table::new(
+        "Figure 15: quantization limit study, PageRank (miss reduction vs DRRIP; tie rate)",
+        &[
+            "graph", "4-bit", "tie%", "8-bit", "tie%", "16-bit", "tie%", "T-OPT",
+        ],
+    );
+    for (name, g) in suite(Scale::Small) {
+        let drrip = simulate(
+            App::Pagerank,
+            &g,
+            &cfg,
+            &PolicySpec::Baseline(PolicyKind::Drrip),
+        );
+        let mut row = vec![name.to_string()];
+        for quant in [
+            Quantization::FOUR,
+            Quantization::EIGHT,
+            Quantization::SIXTEEN,
+        ] {
+            let spec = PolicySpec::Popt {
+                quant,
+                encoding: Encoding::InterIntra,
+                limit_study: true,
+            };
+            let stats = simulate(App::Pagerank, &g, &cfg, &spec);
+            let reduction = 1.0 - stats.llc.misses as f64 / drrip.llc.misses.max(1) as f64;
+            let tie_rate = stats.overheads.ties as f64 / stats.overheads.decisions.max(1) as f64;
+            row.push(pct(reduction));
+            row.push(pct(tie_rate));
+        }
+        let topt = simulate(App::Pagerank, &g, &cfg, &PolicySpec::Topt);
+        row.push(pct(
+            1.0 - topt.llc.misses as f64 / drrip.llc.misses.max(1) as f64
+        ));
+        table.row(row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popt_graph::suite::{suite_graph, SuiteGraph, SuiteScale};
+    use popt_sim::HierarchyConfig;
+
+    fn run_quant(g: &popt_graph::Graph, quant: Quantization) -> popt_sim::HierarchyStats {
+        let cfg = HierarchyConfig::small_test();
+        simulate(
+            App::Pagerank,
+            g,
+            &cfg,
+            &PolicySpec::Popt {
+                quant,
+                encoding: Encoding::InterIntra,
+                limit_study: true,
+            },
+        )
+    }
+
+    #[test]
+    fn tie_rate_falls_with_more_bits() {
+        let g = suite_graph(SuiteGraph::Urand, SuiteScale::Small);
+        let tie = |s: &popt_sim::HierarchyStats| {
+            s.overheads.ties as f64 / s.overheads.decisions.max(1) as f64
+        };
+        let t4 = tie(&run_quant(&g, Quantization::FOUR));
+        let t8 = tie(&run_quant(&g, Quantization::EIGHT));
+        let t16 = tie(&run_quant(&g, Quantization::SIXTEEN));
+        assert!(t4 > t8, "4-bit ties {t4:.3} should exceed 8-bit {t8:.3}");
+        assert!(t8 > t16, "8-bit ties {t8:.3} should exceed 16-bit {t16:.3}");
+        assert!(t16 < 0.05, "16-bit ties should be rare, got {t16:.3}");
+    }
+
+    #[test]
+    fn more_bits_do_not_increase_misses() {
+        let g = suite_graph(SuiteGraph::Urand, SuiteScale::Small);
+        let m4 = run_quant(&g, Quantization::FOUR).llc.misses;
+        let m8 = run_quant(&g, Quantization::EIGHT).llc.misses;
+        let m16 = run_quant(&g, Quantization::SIXTEEN).llc.misses;
+        assert!(m8 <= m4 * 101 / 100);
+        assert!(m16 <= m8 * 101 / 100);
+    }
+}

@@ -1,0 +1,53 @@
+//! One module per paper table/figure. Every `run(scale)` returns the
+//! tables to emit; the binary writes them to `results/`.
+
+pub mod extensions;
+pub mod fig02_baseline_mpki;
+pub mod fig04_topt_mpki;
+pub mod fig07_encodings;
+pub mod fig10_main;
+pub mod fig11_graph_size;
+pub mod fig12_prior_work;
+pub mod fig13_tiling;
+pub mod fig14_pb_phi;
+pub mod fig15_quantization;
+pub mod fig16_llc_sensitivity;
+pub mod tables;
+
+use crate::Scale;
+use popt_graph::suite::{suite_graph, SuiteGraph};
+use popt_graph::Graph;
+
+/// The five suite graphs at the requested scale, in paper order.
+pub fn suite(scale: Scale) -> Vec<(SuiteGraph, Graph)> {
+    SuiteGraph::ALL
+        .iter()
+        .map(|&which| (which, suite_graph(which, scale.suite())))
+        .collect()
+}
+
+/// Geometric mean of a non-empty slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn suite_has_five_graphs() {
+        let graphs = suite(Scale::Small);
+        assert_eq!(graphs.len(), 5);
+    }
+}

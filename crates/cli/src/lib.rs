@@ -1,0 +1,46 @@
+//! Experiment harness for the P-OPT reproduction.
+//!
+//! One module per paper table/figure (see `DESIGN.md` §5 for the index);
+//! the `experiments` binary dispatches subcommands (`fig2`, `fig10`,
+//! `table4`, `all`, …), prints aligned text tables and writes CSV files
+//! into `results/`.
+//!
+//! The heart of the crate is [`runner::simulate`], which composes a
+//! workload ([`popt_kernels::App`]), an input graph, a hierarchy
+//! configuration and a [`runner::PolicySpec`] into a full trace-driven
+//! simulation — including the P-OPT preprocessing, way reservation and
+//! Belady's two-pass oracle where applicable.
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+/// Experiment scale: `Small` for smoke tests / CI, `Standard` for the
+/// numbers recorded in `EXPERIMENTS.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small suite graphs (seconds per figure).
+    Small,
+    /// Standard suite graphs (minutes for the full set).
+    Standard,
+}
+
+impl Scale {
+    /// The matching graph-suite scale.
+    pub fn suite(&self) -> popt_graph::suite::SuiteScale {
+        match self {
+            Scale::Small => popt_graph::suite::SuiteScale::Small,
+            Scale::Standard => popt_graph::suite::SuiteScale::Standard,
+        }
+    }
+
+    /// The matching hierarchy configuration: the scaled Table I hierarchy
+    /// for Standard graphs, and a miniature one for Small graphs, keeping
+    /// the irregular-footprint-to-LLC ratio in the paper's band either way.
+    pub fn config(&self) -> popt_sim::HierarchyConfig {
+        match self {
+            Scale::Small => popt_sim::HierarchyConfig::small_test(),
+            Scale::Standard => popt_sim::HierarchyConfig::scaled_table1(),
+        }
+    }
+}

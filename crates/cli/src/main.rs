@@ -1,0 +1,175 @@
+//! `experiments` — regenerates every table and figure of the P-OPT paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments <exp> [--small] [--out DIR]
+//! experiments all   [--small] [--out DIR]
+//! experiments list
+//! ```
+//!
+//! `<exp>` is one of: table1 table2 table3 table4 fig2 fig4 fig7 fig10
+//! fig11 fig12a fig12b fig13 fig14 fig15 fig16, or one of the extension
+//! studies ext1 (parallel execution) ext2 (prefetching) ext3 (full policy
+//! zoo) ext4 (context switches) ext5 (tie-break ablation) ext6 (huge-page
+//! requirement). Results are printed and written as `.txt`/`.csv` under
+//! `--out` (default `results/`).
+
+use popt_cli::experiments::*;
+use popt_cli::table::Table;
+use popt_cli::Scale;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+type Runner = fn(Scale) -> Vec<Table>;
+
+/// Registered experiments: (name, description, runner).
+const EXPERIMENTS: &[(&str, &str, Runner)] = &[
+    ("table1", "simulation parameters", tables::table1),
+    ("table2", "application inventory", tables::table2),
+    ("table3", "input graph inventory", tables::table3),
+    ("table4", "P-OPT preprocessing cost", tables::table4),
+    (
+        "fig2",
+        "baseline policies MPKI (PR)",
+        fig02_baseline_mpki::run,
+    ),
+    ("fig4", "T-OPT MPKI (PR)", fig04_topt_mpki::run),
+    ("fig7", "Rereference Matrix encodings", fig07_encodings::run),
+    (
+        "fig10",
+        "main result: speedups + miss reductions",
+        fig10_main::run,
+    ),
+    (
+        "fig11",
+        "graph-size scaling: P-OPT vs P-OPT-SE",
+        fig11_graph_size::run,
+    ),
+    (
+        "fig12",
+        "prior work: GRASP and HATS-BDFS",
+        fig12_prior_work::run,
+    ),
+    ("fig13", "CSR-segmenting interaction", fig13_tiling::run),
+    ("fig14", "PB and PHI interaction", fig14_pb_phi::run),
+    ("fig15", "quantization sensitivity", fig15_quantization::run),
+    (
+        "fig16",
+        "LLC size/associativity sensitivity",
+        fig16_llc_sensitivity::run,
+    ),
+    (
+        "ext1",
+        "extension: parallel execution (Sec V-F)",
+        extensions::ext_parallel,
+    ),
+    (
+        "ext2",
+        "extension: matrix-driven prefetching (Sec VIII)",
+        extensions::ext_prefetch,
+    ),
+    (
+        "ext3",
+        "extension: full policy zoo incl. SDBP + OPT",
+        extensions::ext_zoo,
+    ),
+    (
+        "ext4",
+        "extension: context switches (Sec V-F)",
+        extensions::ext_context_switch,
+    ),
+    (
+        "ext5",
+        "extension: P-OPT tie-break ablation",
+        extensions::ext_tiebreak,
+    ),
+    (
+        "ext6",
+        "extension: huge-page requirement (Sec V-B)",
+        extensions::ext_hugepage,
+    ),
+];
+
+fn usage() {
+    eprintln!("usage: experiments <exp>|all|list [--small] [--out DIR]");
+    eprintln!("experiments:");
+    for (name, desc, _) in EXPERIMENTS {
+        eprintln!("  {name:8} {desc}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Standard;
+    let mut out = PathBuf::from("results");
+    let mut selected: Option<String> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--small" => scale = Scale::Small,
+            "--out" => match iter.next() {
+                Some(dir) => out = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            name if selected.is_none() && !name.starts_with('-') => {
+                selected = Some(name.to_string())
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(selected) = selected else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    if selected == "list" {
+        usage();
+        return ExitCode::SUCCESS;
+    }
+    // fig12a / fig12b are aliases for the combined fig12 module.
+    let canonical = match selected.as_str() {
+        "fig12a" | "fig12b" => "fig12",
+        other => other,
+    };
+    let to_run: Vec<&(&str, &str, Runner)> = if canonical == "all" {
+        EXPERIMENTS.iter().collect()
+    } else {
+        match EXPERIMENTS.iter().find(|(name, _, _)| *name == canonical) {
+            Some(e) => vec![e],
+            None => {
+                eprintln!("unknown experiment: {selected}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    for (name, desc, runner) in to_run {
+        eprintln!(">>> {name}: {desc} ({scale:?} scale)");
+        let started = std::time::Instant::now();
+        let tables = runner(scale);
+        for (i, table) in tables.iter().enumerate() {
+            let file = if tables.len() == 1 {
+                (*name).to_string()
+            } else {
+                format!("{name}_{}", (b'a' + i as u8) as char)
+            };
+            if let Err(err) = table.emit(&out, &file) {
+                eprintln!("failed to write {file}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("<<< {name} done in {:.1}s", started.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

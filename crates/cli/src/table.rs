@@ -1,0 +1,167 @@
+//! Result presentation: aligned text tables and CSV output.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A rendered experiment result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Title shown above the table (e.g. "Figure 10: speedups over LRU").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in '{}'",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders CSV (comma-separated, quoted only when needed).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the text form and writes `<dir>/<name>.txt` and `.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the files.
+    pub fn emit(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        let text = self.render();
+        print!("{text}");
+        println!();
+        std::fs::create_dir_all(dir)?;
+        let mut txt = std::fs::File::create(dir.join(format!("{name}.txt")))?;
+        txt.write_all(text.as_bytes())?;
+        let mut csv = std::fs::File::create(dir.join(format!("{name}.csv")))?;
+        csv.write_all(self.to_csv().as_bytes())?;
+        Ok(())
+    }
+}
+
+/// Formats a ratio as a percentage string ("12.3%").
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a speedup ("1.23x").
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["graph", "mpki"]);
+        t.row(vec!["dbp".into(), "61.20".into()]);
+        t.row(vec!["uk02".into(), "7.1".into()]);
+        let text = t.render();
+        assert!(text.contains("== demo =="));
+        assert!(text.lines().count() >= 4);
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        // All rendered rows have equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1,2".into()]);
+        assert_eq!(t.to_csv(), "a\n\"1,2\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_validated() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.123), "12.3%");
+        assert_eq!(speedup(1.234), "1.23x");
+        assert_eq!(f2(3.14159), "3.14");
+    }
+}

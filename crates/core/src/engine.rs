@@ -1,0 +1,189 @@
+//! The next-ref engine (paper Section V-C): the FSM that inspects an
+//! eviction set, classifies each way, and picks a replacement candidate.
+//!
+//! Decision procedure, verbatim from the paper: "the next-ref engine uses
+//! the irreg_base and irreg_bound registers to first search for a way that
+//! does not contain irregData ... reports the first way in the eviction set
+//! containing streaming data as the replacement candidate. If all ways in
+//! the eviction set contain irregData, then the next-ref engine runs
+//! P-OPT's next reference computation for each way ... then searches the
+//! next-ref buffer to find the way with the largest next reference
+//! value, settling a tie using a baseline replacement policy."
+
+/// Classification of one eviction-set way, the content of one `next-ref
+/// buffer` slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WayClass {
+    /// The way holds streaming data (outside every `irreg_base`/`bound`
+    /// range) — re-reference distance ∞ by construction.
+    Streaming,
+    /// The way holds irregular data with the computed next reference.
+    Irregular {
+        /// Next-reference distance from Algorithm 2 (or exact, for T-OPT).
+        next_ref: u32,
+    },
+}
+
+/// Outcome of a victim search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VictimChoice {
+    /// Ways tied for eviction; a singleton unless quantization produced a
+    /// tie. The caller breaks ties with its fallback policy.
+    pub candidates: Vec<usize>,
+    /// Number of Rereference Matrix lookups the search performed.
+    pub lookups: u64,
+}
+
+impl VictimChoice {
+    /// Whether quantization produced a tie (Figure 15's tie-rate metric).
+    pub fn is_tie(&self) -> bool {
+        self.candidates.len() > 1
+    }
+}
+
+/// The next-ref engine. Stateless — per-bank instances exist in hardware
+/// only to own the next-ref buffers, which this model represents by the
+/// transient `Vec` in [`NextRefEngine::choose`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NextRefEngine;
+
+impl NextRefEngine {
+    /// Creates an engine.
+    pub fn new() -> Self {
+        NextRefEngine
+    }
+
+    /// Selects replacement candidates from the classified eviction set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is empty.
+    pub fn choose(&self, ways: &[WayClass]) -> VictimChoice {
+        assert!(!ways.is_empty(), "victim search over an empty eviction set");
+        // Step 1: first streaming way wins outright; no matrix lookups are
+        // spent on the remaining ways.
+        if let Some(w) = ways.iter().position(|c| *c == WayClass::Streaming) {
+            return VictimChoice {
+                candidates: vec![w],
+                lookups: w as u64,
+            };
+        }
+        // Step 2: all ways hold irregData; one matrix lookup each.
+        let mut best = 0u32;
+        for c in ways {
+            if let WayClass::Irregular { next_ref } = c {
+                best = best.max(*next_ref);
+            }
+        }
+        let candidates: Vec<usize> = ways
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| matches!(c, WayClass::Irregular { next_ref } if *next_ref == best))
+            .map(|(w, _)| w)
+            .collect();
+        VictimChoice {
+            candidates,
+            lookups: ways.len() as u64,
+        }
+    }
+}
+
+/// The baseline-policy tie-breaker (the paper settles quantization ties
+/// with DRRIP). Maintains RRIP-style recency state per way; among tied
+/// candidates the way with the largest RRPV (least recently re-referenced)
+/// loses.
+#[derive(Debug, Clone)]
+pub(crate) struct TieBreaker {
+    ways: usize,
+    rrpv: Vec<u8>,
+}
+
+const TIE_RRPV_MAX: u8 = 3;
+
+impl TieBreaker {
+    pub(crate) fn new(sets: usize, ways: usize) -> Self {
+        TieBreaker {
+            ways,
+            rrpv: vec![TIE_RRPV_MAX; sets * ways],
+        }
+    }
+
+    pub(crate) fn on_hit(&mut self, set: usize, way: usize) {
+        self.rrpv[set * self.ways + way] = 0;
+    }
+
+    pub(crate) fn on_fill(&mut self, set: usize, way: usize) {
+        self.rrpv[set * self.ways + way] = TIE_RRPV_MAX - 1;
+    }
+
+    /// Picks the loser among `candidates` (must be non-empty).
+    pub(crate) fn break_tie(&self, set: usize, candidates: &[usize]) -> usize {
+        *candidates
+            .iter()
+            .max_by_key(|&&w| self.rrpv[set * self.ways + w])
+            .expect("tie break needs at least one candidate")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tie_breaker_prefers_stale_ways() {
+        let mut tb = TieBreaker::new(1, 4);
+        tb.on_fill(0, 0);
+        tb.on_fill(0, 1);
+        tb.on_hit(0, 1);
+        // Way 2 never filled: still at max RRPV -> loses the tie.
+        assert_eq!(tb.break_tie(0, &[0, 1, 2]), 2);
+        // Between a filled and a hit way, the filled (staler) one loses.
+        assert_eq!(tb.break_tie(0, &[0, 1]), 0);
+    }
+
+    #[test]
+    fn streaming_ways_are_evicted_first_without_lookups() {
+        let engine = NextRefEngine::new();
+        let ways = [
+            WayClass::Irregular { next_ref: 5 },
+            WayClass::Streaming,
+            WayClass::Irregular { next_ref: 90 },
+        ];
+        let choice = engine.choose(&ways);
+        assert_eq!(choice.candidates, vec![1]);
+        assert!(!choice.is_tie());
+        assert!(choice.lookups < ways.len() as u64);
+    }
+
+    #[test]
+    fn furthest_next_ref_wins() {
+        let engine = NextRefEngine::new();
+        let ways = [
+            WayClass::Irregular { next_ref: 5 },
+            WayClass::Irregular { next_ref: 90 },
+            WayClass::Irregular { next_ref: 17 },
+        ];
+        let choice = engine.choose(&ways);
+        assert_eq!(choice.candidates, vec![1]);
+        assert_eq!(choice.lookups, 3);
+    }
+
+    #[test]
+    fn quantization_ties_are_reported() {
+        let engine = NextRefEngine::new();
+        let ways = [
+            WayClass::Irregular { next_ref: 7 },
+            WayClass::Irregular { next_ref: 7 },
+            WayClass::Irregular { next_ref: 2 },
+        ];
+        let choice = engine.choose(&ways);
+        assert_eq!(choice.candidates, vec![0, 1]);
+        assert!(choice.is_tie());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty eviction set")]
+    fn empty_sets_are_rejected() {
+        NextRefEngine::new().choose(&[]);
+    }
+}

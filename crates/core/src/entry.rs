@@ -1,0 +1,246 @@
+use crate::Quantization;
+
+/// Rereference Matrix entry encoding (paper Sections IV-A, IV-B, VII-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Encoding {
+    /// Figure 5: the whole entry is the distance (in epochs) from the
+    /// current epoch to the epoch of the line's next reference; the maximum
+    /// value is the ∞ sentinel. Loses intra-epoch information — after the
+    /// line's final access within an epoch the entry still reads 0.
+    InterOnly,
+    /// Figure 6 (the default): MSB set ⇒ no access this epoch, payload =
+    /// distance to the next referencing epoch; MSB clear ⇒ accessed this
+    /// epoch, payload = sub-epoch of the *final* access.
+    InterIntra,
+    /// P-OPT-SE (Section VII-B): like inter+intra but the second-most
+    /// significant bit records whether the line is accessed in the *next*
+    /// epoch, so replacement needs only the current column resident. Costs
+    /// one more payload bit: distances and sub-epoch resolution halve.
+    SingleEpoch,
+}
+
+impl Encoding {
+    /// Flag bits consumed by the encoding.
+    pub fn flag_bits(&self) -> u8 {
+        match self {
+            Encoding::InterOnly => 0,
+            Encoding::InterIntra => 1,
+            Encoding::SingleEpoch => 2,
+        }
+    }
+
+    /// Payload bits left for distances / sub-epochs.
+    pub fn payload_bits(&self, quant: Quantization) -> u8 {
+        quant.bits() - self.flag_bits()
+    }
+
+    /// Largest representable distance; doubles as the ∞ sentinel
+    /// ("the range of next references tracked in P-OPT-SE is halved from
+    /// 128 to 64").
+    pub fn max_distance(&self, quant: Quantization) -> u16 {
+        (1u16 << self.payload_bits(quant)) - 1
+    }
+
+    /// Sub-epochs per epoch under this encoding (meaningless for
+    /// [`Encoding::InterOnly`], which tracks no intra-epoch state).
+    pub fn num_sub_epochs(&self, quant: Quantization) -> u32 {
+        match self {
+            Encoding::InterOnly => 1,
+            _ => ((1u32 << self.payload_bits(quant)) - 1).max(1),
+        }
+    }
+
+    /// Columns that must be LLC-resident during execution: 2 for the
+    /// default design ("finding a cache line's next reference may require
+    /// accessing the current and next epoch information"), 1 for
+    /// P-OPT-SE, and — conservatively — 1 for inter-only.
+    pub fn resident_columns(&self) -> usize {
+        match self {
+            Encoding::InterIntra => 2,
+            Encoding::InterOnly | Encoding::SingleEpoch => 1,
+        }
+    }
+
+    /// Short label for figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Encoding::InterOnly => "P-OPT-inter-only",
+            Encoding::InterIntra => "P-OPT",
+            Encoding::SingleEpoch => "P-OPT-SE",
+        }
+    }
+}
+
+impl std::fmt::Display for Encoding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A raw Rereference Matrix entry (at most 16 bits used).
+///
+/// Construction and inspection are parameterized by the
+/// ([`Quantization`], [`Encoding`]) pair that defines the bit layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawEntry(pub u16);
+
+impl RawEntry {
+    /// Entry for a line *not* accessed in the epoch, whose next reference
+    /// is `distance` epochs ahead (`None` = never again). Distances
+    /// saturate at the encoding's sentinel.
+    pub fn absent(distance: Option<u32>, quant: Quantization, enc: Encoding) -> RawEntry {
+        let max = enc.max_distance(quant) as u32;
+        let d = distance.unwrap_or(max).min(max) as u16;
+        match enc {
+            Encoding::InterOnly => RawEntry(d),
+            Encoding::InterIntra => {
+                let msb = 1u16 << (quant.bits() - 1);
+                RawEntry(msb | d)
+            }
+            Encoding::SingleEpoch => {
+                let msb = 1u16 << (quant.bits() - 1);
+                RawEntry(msb | d)
+            }
+        }
+    }
+
+    /// Entry for a line accessed in the epoch. `last_sub_epoch` is the
+    /// sub-epoch of its final access; `accessed_next_epoch` is consumed
+    /// only by [`Encoding::SingleEpoch`].
+    ///
+    /// For [`Encoding::InterOnly`] this is simply distance 0 (the encoding
+    /// cannot express anything finer — its defining loss).
+    pub fn present(
+        last_sub_epoch: u32,
+        accessed_next_epoch: bool,
+        quant: Quantization,
+        enc: Encoding,
+    ) -> RawEntry {
+        match enc {
+            Encoding::InterOnly => RawEntry(0),
+            Encoding::InterIntra => {
+                let sub = (last_sub_epoch as u16).min(enc.max_distance(quant));
+                RawEntry(sub)
+            }
+            Encoding::SingleEpoch => {
+                let sub = (last_sub_epoch as u16).min(enc.max_distance(quant));
+                let next_bit = if accessed_next_epoch {
+                    1u16 << (quant.bits() - 2)
+                } else {
+                    0
+                };
+                RawEntry(next_bit | sub)
+            }
+        }
+    }
+
+    /// Whether the line is accessed within the entry's epoch (Algorithm 2
+    /// line 5 tests the inverse, `currEntry[7] == 1`).
+    pub fn is_present(&self, quant: Quantization, enc: Encoding) -> bool {
+        match enc {
+            Encoding::InterOnly => self.0 == 0,
+            Encoding::InterIntra | Encoding::SingleEpoch => self.0 & (1 << (quant.bits() - 1)) == 0,
+        }
+    }
+
+    /// Distance payload for an absent entry (Algorithm 2 line 6).
+    pub fn distance(&self, quant: Quantization, enc: Encoding) -> u16 {
+        debug_assert!(!self.is_present(quant, enc) || enc == Encoding::InterOnly);
+        self.0 & ((1 << enc.payload_bits(quant)) - 1)
+    }
+
+    /// Whether the distance payload is the ∞ sentinel.
+    pub fn is_infinite(&self, quant: Quantization, enc: Encoding) -> bool {
+        !self.is_present(quant, enc) && self.distance(quant, enc) == enc.max_distance(quant)
+    }
+
+    /// Final-access sub-epoch for a present entry (Algorithm 2 line 8).
+    pub fn last_sub_epoch(&self, quant: Quantization, enc: Encoding) -> u32 {
+        debug_assert!(self.is_present(quant, enc));
+        (self.0 & ((1 << enc.payload_bits(quant)) - 1)) as u32
+    }
+
+    /// P-OPT-SE's "accessed in next epoch" flag.
+    pub fn accessed_next_epoch(&self, quant: Quantization, enc: Encoding) -> bool {
+        debug_assert_eq!(enc, Encoding::SingleEpoch);
+        debug_assert!(self.is_present(quant, enc));
+        self.0 & (1 << (quant.bits() - 2)) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q8: Quantization = Quantization::EIGHT;
+
+    #[test]
+    fn inter_intra_layout_matches_figure_6() {
+        // "MSB == 1: no reference this epoch (7 bits encode distance to
+        //  next Epoch); MSB == 0: cacheline referred in this epoch (7 bits
+        //  encode last reference within epoch)".
+        let absent = RawEntry::absent(Some(5), Q8, Encoding::InterIntra);
+        assert_eq!(absent.0, 0b1000_0101);
+        assert!(!absent.is_present(Q8, Encoding::InterIntra));
+        assert_eq!(absent.distance(Q8, Encoding::InterIntra), 5);
+
+        let present = RawEntry::present(42, false, Q8, Encoding::InterIntra);
+        assert_eq!(present.0, 42);
+        assert!(present.is_present(Q8, Encoding::InterIntra));
+        assert_eq!(present.last_sub_epoch(Q8, Encoding::InterIntra), 42);
+    }
+
+    #[test]
+    fn distances_saturate_at_the_sentinel() {
+        let e = RawEntry::absent(Some(100_000), Q8, Encoding::InterIntra);
+        assert_eq!(e.distance(Q8, Encoding::InterIntra), 127);
+        assert!(e.is_infinite(Q8, Encoding::InterIntra));
+        let never = RawEntry::absent(None, Q8, Encoding::InterIntra);
+        assert!(never.is_infinite(Q8, Encoding::InterIntra));
+    }
+
+    #[test]
+    fn inter_only_is_a_bare_distance() {
+        let e = RawEntry::absent(Some(3), Q8, Encoding::InterOnly);
+        assert_eq!(e.0, 3);
+        assert!(!e.is_present(Q8, Encoding::InterOnly));
+        let now = RawEntry::present(99, true, Q8, Encoding::InterOnly);
+        assert_eq!(now.0, 0);
+        assert!(now.is_present(Q8, Encoding::InterOnly));
+        assert_eq!(Encoding::InterOnly.max_distance(Q8), 255);
+    }
+
+    #[test]
+    fn single_epoch_spends_two_flag_bits() {
+        let enc = Encoding::SingleEpoch;
+        assert_eq!(enc.payload_bits(Q8), 6);
+        // "the range of next references tracked in P-OPT-SE is halved from
+        // 128 to 64".
+        assert_eq!(enc.max_distance(Q8) + 1, 64);
+        let p = RawEntry::present(10, true, Q8, enc);
+        assert!(p.is_present(Q8, enc));
+        assert!(p.accessed_next_epoch(Q8, enc));
+        assert_eq!(p.last_sub_epoch(Q8, enc), 10);
+        let p2 = RawEntry::present(10, false, Q8, enc);
+        assert!(!p2.accessed_next_epoch(Q8, enc));
+        let a = RawEntry::absent(Some(70), Q8, enc);
+        assert_eq!(a.distance(Q8, enc), 63); // saturated
+    }
+
+    #[test]
+    fn resident_column_counts() {
+        assert_eq!(Encoding::InterIntra.resident_columns(), 2);
+        assert_eq!(Encoding::SingleEpoch.resident_columns(), 1);
+        assert_eq!(Encoding::InterOnly.resident_columns(), 1);
+    }
+
+    #[test]
+    fn four_bit_geometry() {
+        let q4 = Quantization::FOUR;
+        let enc = Encoding::InterIntra;
+        assert_eq!(enc.max_distance(q4), 7);
+        assert_eq!(enc.num_sub_epochs(q4), 7);
+        let e = RawEntry::absent(Some(9), q4, enc);
+        assert_eq!(e.distance(q4, enc), 7);
+    }
+}

@@ -1,0 +1,193 @@
+use popt_graph::VertexId;
+
+/// Epoch quantization of the outer-loop vertex space (paper Section IV-A).
+///
+/// A `bits`-bit quantization divides the traversal's vertex range into
+/// `2^bits` epochs; a Rereference Matrix entry occupies `bits` bits. The
+/// paper's default is 8 bits: 256 epochs, entries with a 1-bit flag and a
+/// 7-bit payload, so 127 sub-epochs per epoch
+/// (`EpochSize = ceil(numVertices/256)`,
+/// `SubEpochSize = ceil(EpochSize/127)`, Section V-C).
+///
+/// # Example
+///
+/// ```
+/// use popt_core::Quantization;
+///
+/// let q = Quantization::EIGHT;
+/// assert_eq!(q.num_epochs(), 256);
+/// assert_eq!(q.epoch_size(1_000_000), 3907);   // ceil(1e6 / 256)
+/// assert_eq!(q.sub_epoch_size(1_000_000), 31); // ceil(3907 / 127)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Quantization {
+    bits: u8,
+}
+
+impl Quantization {
+    /// 4-bit entries: 16 epochs, 3-bit payloads.
+    pub const FOUR: Quantization = Quantization { bits: 4 };
+    /// 8-bit entries: 256 epochs, 7-bit payloads — the paper's default.
+    pub const EIGHT: Quantization = Quantization { bits: 8 };
+    /// 16-bit entries: 65536 epochs, 15-bit payloads (limit study).
+    pub const SIXTEEN: Quantization = Quantization { bits: 16 };
+
+    /// Creates a quantization with `bits`-bit entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 16`.
+    pub fn new(bits: u8) -> Self {
+        assert!(
+            (2..=16).contains(&bits),
+            "quantization must use 2..=16 bits"
+        );
+        Quantization { bits }
+    }
+
+    /// Entry width in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Bytes one entry occupies in the LLC-resident column.
+    pub fn bytes_per_entry(&self) -> u64 {
+        (self.bits as u64).div_ceil(8)
+    }
+
+    /// Number of epochs (`2^bits`).
+    pub fn num_epochs(&self) -> usize {
+        1usize << self.bits
+    }
+
+    /// Payload bits available after the inter/intra flag bit.
+    pub fn payload_bits(&self) -> u8 {
+        self.bits - 1
+    }
+
+    /// Largest representable payload value; doubles as the "infinity"
+    /// sentinel for epoch distances.
+    pub fn max_payload(&self) -> u16 {
+        (1u16 << self.payload_bits()) - 1
+    }
+
+    /// Number of sub-epochs an epoch is divided into ("the maximum value
+    /// representable with the remaining lower bits", Section IV-B).
+    pub fn num_sub_epochs(&self) -> u32 {
+        self.max_payload() as u32
+    }
+
+    /// Vertices per epoch for a traversal over `num_vertices`.
+    pub fn epoch_size(&self, num_vertices: usize) -> u32 {
+        (num_vertices.div_ceil(self.num_epochs()) as u32).max(1)
+    }
+
+    /// Vertices per sub-epoch.
+    pub fn sub_epoch_size(&self, num_vertices: usize) -> u32 {
+        self.epoch_size(num_vertices)
+            .div_ceil(self.num_sub_epochs())
+            .max(1)
+    }
+
+    /// Number of epochs actually spanned by `num_vertices` (≤
+    /// [`num_epochs`](Self::num_epochs); smaller when the graph has fewer
+    /// vertices than epochs).
+    pub fn epochs_spanned(&self, num_vertices: usize) -> usize {
+        if num_vertices == 0 {
+            0
+        } else {
+            num_vertices.div_ceil(self.epoch_size(num_vertices) as usize)
+        }
+    }
+
+    /// Epoch containing `vertex`.
+    pub fn epoch_of(&self, vertex: VertexId, num_vertices: usize) -> u32 {
+        vertex / self.epoch_size(num_vertices)
+    }
+
+    /// Sub-epoch of `vertex` within its epoch (Algorithm 2 lines 9–11).
+    pub fn sub_epoch_of(&self, vertex: VertexId, num_vertices: usize) -> u32 {
+        let epoch_size = self.epoch_size(num_vertices);
+        let offset = vertex % epoch_size;
+        (offset / self.sub_epoch_size(num_vertices)).min(self.num_sub_epochs() - 1)
+    }
+}
+
+impl Default for Quantization {
+    fn default() -> Self {
+        Quantization::EIGHT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_for_8_bit() {
+        let q = Quantization::EIGHT;
+        assert_eq!(q.num_epochs(), 256);
+        assert_eq!(q.payload_bits(), 7);
+        assert_eq!(q.max_payload(), 127);
+        assert_eq!(q.num_sub_epochs(), 127);
+        assert_eq!(q.bytes_per_entry(), 1);
+        // Section V-C: EpochSize = ceil(numVertices/256).
+        assert_eq!(q.epoch_size(32_000_000), 125_000);
+        assert_eq!(q.sub_epoch_size(32_000_000), 985); // ceil(125000/127)
+    }
+
+    #[test]
+    fn four_and_sixteen_bit_geometry() {
+        assert_eq!(Quantization::FOUR.num_epochs(), 16);
+        assert_eq!(Quantization::FOUR.num_sub_epochs(), 7);
+        assert_eq!(Quantization::SIXTEEN.num_epochs(), 65536);
+        assert_eq!(Quantization::SIXTEEN.bytes_per_entry(), 2);
+    }
+
+    #[test]
+    fn epoch_of_covers_the_vertex_range() {
+        let q = Quantization::EIGHT;
+        let n = 1000usize;
+        assert_eq!(q.epoch_size(n), 4); // ceil(1000/256)
+        assert_eq!(q.epochs_spanned(n), 250);
+        assert_eq!(q.epoch_of(0, n), 0);
+        assert_eq!(q.epoch_of(999, n), 249);
+        for v in 0..n as u32 {
+            assert!((q.epoch_of(v, n) as usize) < q.epochs_spanned(n));
+            assert!(q.sub_epoch_of(v, n) < q.num_sub_epochs());
+        }
+    }
+
+    #[test]
+    fn small_graphs_do_not_break_geometry() {
+        let q = Quantization::EIGHT;
+        assert_eq!(q.epoch_size(3), 1);
+        assert_eq!(q.epochs_spanned(3), 3);
+        assert_eq!(q.epochs_spanned(0), 0);
+        assert_eq!(q.sub_epoch_size(3), 1);
+    }
+
+    #[test]
+    fn sub_epochs_are_monotone_within_an_epoch() {
+        let q = Quantization::EIGHT;
+        let n = 100_000usize;
+        let es = q.epoch_size(n);
+        let ss = q.sub_epoch_size(n);
+        let mut prev = 0;
+        for v in 0..es {
+            let s = q.sub_epoch_of(v, n);
+            assert!(s >= prev);
+            prev = s;
+        }
+        // Final sub-epoch: the ceiling in sub_epoch_size may leave the tail
+        // short of the maximum index, but never beyond it.
+        assert_eq!(prev, ((es - 1) / ss).min(q.num_sub_epochs() - 1));
+        assert!(prev < q.num_sub_epochs());
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=16")]
+    fn out_of_range_bits_are_rejected() {
+        let _ = Quantization::new(17);
+    }
+}

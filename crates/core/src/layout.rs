@@ -1,0 +1,218 @@
+//! LLC placement of Rereference Matrix columns — the Figure 8 arithmetic.
+//!
+//! P-OPT pins the current and next epoch columns in reserved LLC ways:
+//! "Within a reserved way, consecutive cache-line-sized blocks of a
+//! Rereference Matrix column are assigned to consecutive sets. After
+//! filling all the sets in one way, P-OPT fills consecutive sets of the
+//! next reserved way." Lookup splits an `irregData` cache-line ID into a
+//! block offset (low 6 bits at 8-bit quantization), a set offset, and a way
+//! offset, added to the column's `set-base`/`way-base` registers. Footnote
+//! 3 gives the non-power-of-two-set variant, which this module implements
+//! for both cases.
+
+use crate::Quantization;
+
+/// Location of one Rereference Matrix entry inside the LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntrySlot {
+    /// LLC way holding the entry's cache line.
+    pub way: usize,
+    /// LLC set holding the entry's cache line.
+    pub set: usize,
+    /// Byte offset of the entry within the 64 B line.
+    pub byte_offset: usize,
+}
+
+/// The `set-base`/`way-base` register pair of one resident column
+/// (Figure 8), plus the geometry needed to resolve entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnLayout {
+    way_base: usize,
+    set_base: usize,
+    num_sets: usize,
+    entries_per_line: usize,
+}
+
+impl ColumnLayout {
+    /// Creates the layout for a column pinned starting at
+    /// (`way_base`, `set_base`) of an LLC with `num_sets` sets per way, at
+    /// the given quantization (entries per 64 B line =
+    /// `64 / bytes-per-entry`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` is zero or `set_base >= num_sets`.
+    pub fn new(way_base: usize, set_base: usize, num_sets: usize, quant: Quantization) -> Self {
+        assert!(num_sets > 0, "LLC needs sets");
+        assert!(set_base < num_sets, "set base outside the cache");
+        ColumnLayout {
+            way_base,
+            set_base,
+            num_sets,
+            entries_per_line: (popt_trace::LINE_SIZE / quant.bytes_per_entry()) as usize,
+        }
+    }
+
+    /// Entries of the column that share one LLC line.
+    pub fn entries_per_line(&self) -> usize {
+        self.entries_per_line
+    }
+
+    /// LLC lines (and therefore set slots) one column occupies for
+    /// `num_lines` irregData lines.
+    pub fn lines_needed(&self, num_lines: usize) -> usize {
+        num_lines.div_ceil(self.entries_per_line)
+    }
+
+    /// Ways the column spans.
+    pub fn ways_needed(&self, num_lines: usize) -> usize {
+        (self.set_base + self.lines_needed(num_lines)).div_ceil(self.num_sets)
+    }
+
+    /// Resolves the LLC slot of the entry for `irregData` cache line
+    /// `cline_id` — Figure 8's "block offset / set offset / way offset"
+    /// split, using the footnote-3 division form so non-power-of-two set
+    /// counts work.
+    pub fn slot_of(&self, cline_id: u64) -> EntrySlot {
+        let byte_offset =
+            (cline_id % self.entries_per_line as u64) as usize * (64 / self.entries_per_line);
+        let block = (cline_id / self.entries_per_line as u64) as usize;
+        // Footnote 3: WayOffset = block / numSets, SetOffset = block % numSets.
+        let linear = self.set_base + block;
+        EntrySlot {
+            way: self.way_base + linear / self.num_sets,
+            set: linear % self.num_sets,
+            byte_offset,
+        }
+    }
+}
+
+/// Plans the reserved-way layout for a set of resident columns: each column
+/// starts right after the previous one ("P-OPT stores cache lines of the
+/// next epoch column of the Rereference Matrix right after the current
+/// epoch column"). Returns one [`ColumnLayout`] per column plus the total
+/// ways consumed.
+///
+/// # Panics
+///
+/// Panics via [`ColumnLayout::new`] on degenerate geometry.
+pub fn plan_columns(
+    num_lines: usize,
+    num_columns: usize,
+    num_sets: usize,
+    first_reserved_way: usize,
+    quant: Quantization,
+) -> (Vec<ColumnLayout>, usize) {
+    let mut layouts = Vec::with_capacity(num_columns);
+    let mut cursor = 0usize; // linear slot index within the reserved region
+    let entries_per_line = (popt_trace::LINE_SIZE / quant.bytes_per_entry()) as usize;
+    let lines_per_column = num_lines.div_ceil(entries_per_line);
+    for _ in 0..num_columns {
+        let way = first_reserved_way + cursor / num_sets;
+        let set = cursor % num_sets;
+        layouts.push(ColumnLayout::new(way, set, num_sets, quant));
+        cursor += lines_per_column;
+    }
+    let ways = cursor.div_ceil(num_sets);
+    (layouts, ways)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure8_split_at_8_bit_quantization() {
+        // 64 entries per line (1 B each): low 6 bits of the cline id are the
+        // in-line offset; the rest walk consecutive sets, then ways.
+        let l = ColumnLayout::new(14, 0, 256, Quantization::EIGHT);
+        assert_eq!(l.entries_per_line(), 64);
+        assert_eq!(
+            l.slot_of(0),
+            EntrySlot {
+                way: 14,
+                set: 0,
+                byte_offset: 0
+            }
+        );
+        assert_eq!(
+            l.slot_of(63),
+            EntrySlot {
+                way: 14,
+                set: 0,
+                byte_offset: 63
+            }
+        );
+        assert_eq!(
+            l.slot_of(64),
+            EntrySlot {
+                way: 14,
+                set: 1,
+                byte_offset: 0
+            }
+        );
+        // After filling all 256 sets of way 14, spill into way 15.
+        assert_eq!(
+            l.slot_of(64 * 256),
+            EntrySlot {
+                way: 15,
+                set: 0,
+                byte_offset: 0
+            }
+        );
+    }
+
+    #[test]
+    fn sixteen_bit_entries_halve_line_capacity() {
+        let l = ColumnLayout::new(0, 0, 128, Quantization::SIXTEEN);
+        assert_eq!(l.entries_per_line(), 32);
+        assert_eq!(l.slot_of(31).byte_offset, 62);
+        assert_eq!(
+            l.slot_of(32),
+            EntrySlot {
+                way: 0,
+                set: 1,
+                byte_offset: 0
+            }
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_sets_use_the_footnote_formula() {
+        let l = ColumnLayout::new(2, 0, 96, Quantization::EIGHT); // 96 sets
+        let s = l.slot_of(64 * 96 + 64 * 5); // block 101
+        assert_eq!(s.way, 2 + 101 / 96);
+        assert_eq!(s.set, 101 % 96);
+    }
+
+    #[test]
+    fn columns_pack_back_to_back() {
+        // Paper arithmetic: 2M lines at 8-bit = 31.25K column lines over
+        // 24K sets: current column fills way 0 + part of way 1; the next
+        // column starts right after it.
+        let num_lines = 2_000_000;
+        let (layouts, ways) = plan_columns(num_lines, 2, 24_576, 13, Quantization::EIGHT);
+        assert_eq!(layouts.len(), 2);
+        assert_eq!(layouts[0].slot_of(0).way, 13);
+        let column_lines = num_lines.div_ceil(64); // 31_250
+        assert_eq!(layouts[1].slot_of(0).set, column_lines % 24_576);
+        assert_eq!(layouts[1].slot_of(0).way, 13 + column_lines / 24_576);
+        // Two columns of 31,250 lines in 24,576-set ways: 62,500 slots = 3 ways.
+        assert_eq!(ways, 3);
+    }
+
+    #[test]
+    fn ways_needed_matches_reserved_llc_ways_arithmetic() {
+        // Cross-check against RerefMatrix::reserved_llc_ways on the paper's
+        // 32M-vertex example: 2M lines, 2 columns, 24MB/16-way LLC.
+        let llc = popt_sim::CacheConfig::new(24 * 1024 * 1024, 16);
+        let (_, ways) = plan_columns(2_000_000, 2, llc.num_sets(), 13, Quantization::EIGHT);
+        assert_eq!(ways, 3); // Section V-A: 4 MB across 1.5 MB ways -> 3 ways
+    }
+
+    #[test]
+    #[should_panic(expected = "set base outside")]
+    fn set_base_is_validated() {
+        let _ = ColumnLayout::new(0, 512, 256, Quantization::EIGHT);
+    }
+}

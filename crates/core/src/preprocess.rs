@@ -1,0 +1,166 @@
+//! Parallel Rereference Matrix construction — the preprocessing step whose
+//! cost the paper's Table IV measures.
+//!
+//! "Pre-computing P-OPT's modified Rereference Matrix is a low-cost
+//! preprocessing step that runs before execution" (Section IV-B), and "the
+//! Rereference Matrix is algorithm agnostic and needs to be created only
+//! once for a graph" (Section VII-D). Construction is embarrassingly
+//! parallel over matrix rows (cache lines), so this module fans rows out
+//! across worker threads with `crossbeam::scope`.
+
+use crate::{reref, Encoding, Quantization, RerefMatrix};
+use popt_graph::Csr;
+use std::time::{Duration, Instant};
+
+/// Outcome of a timed preprocessing run (one Table IV cell).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreprocessReport {
+    /// Wall-clock build time.
+    pub duration: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total matrix bytes produced.
+    pub bytes: u64,
+}
+
+/// Builds the Rereference Matrix using `threads` workers. Equivalent to
+/// [`RerefMatrix::build`] but parallel; the output is bit-identical.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or the granularities are invalid.
+pub fn build_parallel(
+    transpose: &Csr,
+    elems_per_line: u32,
+    vertices_per_elem: u32,
+    quant: Quantization,
+    encoding: Encoding,
+    threads: usize,
+) -> RerefMatrix {
+    assert!(threads > 0, "need at least one worker thread");
+    let mut m = RerefMatrix::empty_shell(
+        transpose.num_vertices(),
+        elems_per_line,
+        vertices_per_elem,
+        quant,
+        encoding,
+    );
+    let num_lines = m.num_lines();
+    let num_epochs = m.num_epochs();
+    if num_lines == 0 {
+        return m;
+    }
+    let epoch_size = m.epoch_size();
+    let sub_epoch_size = m.sub_epoch_size_raw();
+    let num_sub_epochs = m.num_sub_epochs_raw();
+    let mut data = m.take_data();
+    let rows_per_chunk = num_lines.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (chunk_idx, chunk) in data.chunks_mut(rows_per_chunk * num_epochs).enumerate() {
+            let m_ref = &m;
+            scope.spawn(move |_| {
+                let first_line = chunk_idx * rows_per_chunk;
+                let mut refs = Vec::new();
+                for (i, row) in chunk.chunks_mut(num_epochs).enumerate() {
+                    m_ref.collect_line_refs(transpose, first_line + i, &mut refs);
+                    reref::fill_row(
+                        row,
+                        &refs,
+                        epoch_size,
+                        sub_epoch_size,
+                        num_sub_epochs,
+                        quant,
+                        encoding,
+                    );
+                }
+            });
+        }
+    })
+    .expect("matrix build worker panicked");
+    m.set_data(data);
+    m
+}
+
+/// Times [`build_parallel`].
+pub fn timed_build(
+    transpose: &Csr,
+    elems_per_line: u32,
+    vertices_per_elem: u32,
+    quant: Quantization,
+    encoding: Encoding,
+    threads: usize,
+) -> (RerefMatrix, PreprocessReport) {
+    let start = Instant::now();
+    let m = build_parallel(
+        transpose,
+        elems_per_line,
+        vertices_per_elem,
+        quant,
+        encoding,
+        threads,
+    );
+    let report = PreprocessReport {
+        duration: start.elapsed(),
+        threads,
+        bytes: m.total_bytes(),
+    };
+    (m, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popt_graph::generators;
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let g = generators::uniform_random(2000, 16_000, 5);
+        let serial = RerefMatrix::build(
+            g.out_csr(),
+            16,
+            1,
+            Quantization::EIGHT,
+            Encoding::InterIntra,
+        );
+        for threads in [1usize, 2, 4, 7] {
+            let parallel = build_parallel(
+                g.out_csr(),
+                16,
+                1,
+                Quantization::EIGHT,
+                Encoding::InterIntra,
+                threads,
+            );
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn timed_build_reports_shape() {
+        let g = generators::uniform_random(500, 2000, 1);
+        let (m, report) = timed_build(
+            g.out_csr(),
+            16,
+            1,
+            Quantization::EIGHT,
+            Encoding::InterIntra,
+            2,
+        );
+        assert_eq!(report.threads, 2);
+        assert_eq!(report.bytes, m.total_bytes());
+    }
+
+    #[test]
+    fn empty_graph_builds_an_empty_matrix() {
+        let transpose = popt_graph::Csr::from_edges(0, &[]).unwrap();
+        let m = build_parallel(
+            &transpose,
+            16,
+            1,
+            Quantization::EIGHT,
+            Encoding::InterIntra,
+            4,
+        );
+        assert_eq!(m.num_lines(), 0);
+    }
+}

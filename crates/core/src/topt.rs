@@ -1,0 +1,345 @@
+//! T-OPT: transpose-based optimal replacement (paper Section III).
+//!
+//! T-OPT consults the graph's transpose directly: the next reference of
+//! `srcData[v]` while the pull loop processes destination `d` is `v`'s
+//! first out-neighbor greater than `d` — an `O(log degree)` binary search
+//! per vertex in the line. The paper treats T-OPT as the idealized upper
+//! bound ("incurs no overhead for tracking next references"), and so does
+//! our timing model: the policy reports no metadata overheads.
+
+use crate::engine::{NextRefEngine, TieBreaker, WayClass};
+use crate::INFINITE_DISTANCE;
+use popt_graph::{Csr, VertexId};
+use popt_sim::{AccessMeta, ControlEvent, PolicyOverheads, ReplacementPolicy, VictimCtx};
+use std::sync::Arc;
+
+/// One irregularly-accessed data structure tracked by T-OPT — the contents
+/// of one (`irreg_base`, `irreg_bound`) register pair plus the granularity
+/// needed to map cache lines back to vertex ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IrregularStream {
+    /// First byte of the region.
+    pub base: u64,
+    /// One past the last byte.
+    pub bound: u64,
+    /// Vertices whose data share one 64 B line (16 for 4 B elements,
+    /// 512 for a bit-vector frontier).
+    pub vertices_per_line: u32,
+}
+
+impl IrregularStream {
+    /// Whether the line-aligned address of `line` falls in the region.
+    fn contains_line(&self, line: u64) -> bool {
+        let addr = line << popt_trace::LINE_SHIFT;
+        addr >= self.base && addr < self.bound
+    }
+
+    /// First vertex covered by `line`.
+    fn first_vertex(&self, line: u64) -> u64 {
+        let addr = line << popt_trace::LINE_SHIFT;
+        (addr - self.base) / popt_trace::LINE_SIZE * self.vertices_per_line as u64
+    }
+}
+
+/// The T-OPT replacement policy.
+pub struct Topt {
+    transpose: Arc<Csr>,
+    streams: Vec<IrregularStream>,
+    current_vertex: VertexId,
+    engine: NextRefEngine,
+    tie_break: TieBreaker,
+    ties: u64,
+    decisions: u64,
+    scratch: Vec<WayClass>,
+}
+
+impl std::fmt::Debug for Topt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Topt")
+            .field("streams", &self.streams.len())
+            .finish()
+    }
+}
+
+impl Topt {
+    /// Creates T-OPT for an LLC bank of `sets × ways`.
+    ///
+    /// `transpose` must encode the dimension opposite to the traversal
+    /// ([`popt_graph::Graph::transpose_of`]).
+    pub fn new(
+        transpose: Arc<Csr>,
+        streams: Vec<IrregularStream>,
+        sets: usize,
+        ways: usize,
+    ) -> Self {
+        Topt {
+            transpose,
+            streams,
+            current_vertex: 0,
+            engine: NextRefEngine::new(),
+            tie_break: TieBreaker::new(sets, ways),
+            ties: 0,
+            decisions: 0,
+            scratch: Vec::with_capacity(ways),
+        }
+    }
+
+    /// Exact next-reference distance of `line` within `stream`: the minimum
+    /// over the line's vertices of (first transpose-neighbor beyond the
+    /// current outer vertex) minus the current vertex.
+    fn exact_next_ref(&self, stream: &IrregularStream, line: u64) -> u32 {
+        let first = stream.first_vertex(line);
+        let last =
+            (first + stream.vertices_per_line as u64).min(self.transpose.num_vertices() as u64);
+        let mut best = INFINITE_DISTANCE;
+        for v in first..last {
+            if let Some(next) = self
+                .transpose
+                .next_neighbor_after(v as VertexId, self.current_vertex)
+            {
+                best = best.min(next - self.current_vertex);
+                if best == 1 {
+                    break; // cannot get closer
+                }
+            }
+        }
+        best
+    }
+
+    fn classify(&self, line: u64) -> WayClass {
+        match self.streams.iter().find(|s| s.contains_line(line)) {
+            Some(stream) => WayClass::Irregular {
+                next_ref: self.exact_next_ref(stream, line),
+            },
+            None => WayClass::Streaming,
+        }
+    }
+}
+
+impl ReplacementPolicy for Topt {
+    fn name(&self) -> String {
+        "T-OPT".to_string()
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _meta: &AccessMeta) {
+        self.tie_break.on_hit(set, way);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _meta: &AccessMeta) {
+        self.tie_break.on_fill(set, way);
+    }
+
+    fn victim(&mut self, ctx: &VictimCtx<'_>) -> usize {
+        self.scratch.clear();
+        for w in ctx.ways {
+            self.scratch.push(self.classify(w.line));
+        }
+        let choice = self.engine.choose(&self.scratch);
+        self.decisions += 1;
+        if choice.is_tie() {
+            self.ties += 1;
+            self.tie_break.break_tie(ctx.set, &choice.candidates)
+        } else {
+            choice.candidates[0]
+        }
+    }
+
+    fn on_control(&mut self, event: &ControlEvent) {
+        match event {
+            ControlEvent::CurrentVertex(v) => self.current_vertex = *v,
+            ControlEvent::IterationBegin => self.current_vertex = 0,
+            ControlEvent::EpochBoundary | ControlEvent::ContextSwitch => {}
+        }
+    }
+
+    fn overheads(&self) -> PolicyOverheads {
+        // T-OPT is the idealized design: no streamed metadata, no matrix
+        // lookups — only tie statistics are reported.
+        PolicyOverheads {
+            ties: self.ties,
+            decisions: self.decisions,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popt_graph::Graph;
+    use popt_sim::LineView;
+    use popt_trace::{AccessKind, RegionClass, SiteId};
+
+    /// Figure 1's example graph.
+    fn figure1() -> Graph {
+        Graph::from_edges(
+            5,
+            &[
+                (0, 2),
+                (1, 0),
+                (1, 4),
+                (2, 0),
+                (2, 1),
+                (2, 3),
+                (3, 1),
+                (3, 4),
+                (4, 0),
+                (4, 2),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// A stream where line k holds exactly vertex k (degenerate 1-vertex
+    /// lines let tests mirror the paper's walkthrough).
+    fn unit_stream() -> IrregularStream {
+        IrregularStream {
+            base: 0,
+            bound: 5 * 64,
+            vertices_per_line: 1,
+        }
+    }
+
+    fn meta(line: u64) -> AccessMeta {
+        AccessMeta {
+            line,
+            site: SiteId(0),
+            kind: AccessKind::Read,
+            class: RegionClass::Irregular,
+        }
+    }
+
+    #[test]
+    fn figure3_scenario_a_evicts_s1() {
+        // Processing D0's neighbors; cache ways hold srcData[S1], srcData[S2].
+        // "to emulate OPT we must evict srcData[S1] because its next reuse
+        // (D4) is further into the future than srcData[S2] (D1)".
+        let g = figure1();
+        let mut topt = Topt::new(Arc::new(g.out_csr().clone()), vec![unit_stream()], 1, 2);
+        topt.on_control(&ControlEvent::CurrentVertex(0));
+        let ways = [
+            LineView {
+                valid: true,
+                line: 1,
+            },
+            LineView {
+                valid: true,
+                line: 2,
+            },
+        ];
+        let victim = topt.victim(&VictimCtx {
+            set: 0,
+            ways: &ways,
+            incoming: &meta(4),
+        });
+        assert_eq!(victim, 0, "S1 must be evicted");
+    }
+
+    #[test]
+    fn figure3_scenario_b_evicts_s2() {
+        // Two accesses later, processing D1; ways hold S4 and S2.
+        // S4's next ref is D2, S2's is D3 -> evict S2.
+        let g = figure1();
+        let mut topt = Topt::new(Arc::new(g.out_csr().clone()), vec![unit_stream()], 1, 2);
+        topt.on_control(&ControlEvent::CurrentVertex(1));
+        let ways = [
+            LineView {
+                valid: true,
+                line: 4,
+            },
+            LineView {
+                valid: true,
+                line: 2,
+            },
+        ];
+        let victim = topt.victim(&VictimCtx {
+            set: 0,
+            ways: &ways,
+            incoming: &meta(3),
+        });
+        assert_eq!(victim, 1, "S2 must be evicted");
+    }
+
+    #[test]
+    fn streaming_ways_lose_to_irregular_ways() {
+        let g = figure1();
+        let mut topt = Topt::new(Arc::new(g.out_csr().clone()), vec![unit_stream()], 1, 2);
+        topt.on_control(&ControlEvent::CurrentVertex(0));
+        // Line 100 is outside the stream: streaming, evicted first even
+        // though the irregular line is never referenced again.
+        let ways = [
+            LineView {
+                valid: true,
+                line: 0,
+            },
+            LineView {
+                valid: true,
+                line: 100,
+            },
+        ];
+        let victim = topt.victim(&VictimCtx {
+            set: 0,
+            ways: &ways,
+            incoming: &meta(3),
+        });
+        assert_eq!(victim, 1);
+    }
+
+    #[test]
+    fn multi_vertex_lines_take_the_minimum() {
+        // Line covering vertices {0,1}: v0 next at 2, v1 next at 4 (from
+        // current 0) -> line distance is 2.
+        let g = figure1();
+        let stream = IrregularStream {
+            base: 0,
+            bound: 5 * 64,
+            vertices_per_line: 2,
+        };
+        let topt = Topt::new(Arc::new(g.out_csr().clone()), vec![stream], 1, 2);
+        let d = topt.exact_next_ref(&stream, 0);
+        assert_eq!(d, 2);
+    }
+
+    #[test]
+    fn iteration_begin_resets_the_register() {
+        let g = figure1();
+        let mut topt = Topt::new(Arc::new(g.out_csr().clone()), vec![unit_stream()], 1, 2);
+        topt.on_control(&ControlEvent::CurrentVertex(4));
+        topt.on_control(&ControlEvent::IterationBegin);
+        assert_eq!(topt.current_vertex, 0);
+    }
+
+    #[test]
+    fn ties_are_counted_and_broken_by_recency() {
+        // Two lines whose next reference is the same destination.
+        let transpose = popt_graph::Csr::from_edges(4, &[(0, 3), (1, 3)]).unwrap();
+        let stream = IrregularStream {
+            base: 0,
+            bound: 4 * 64,
+            vertices_per_line: 1,
+        };
+        let mut topt = Topt::new(Arc::new(transpose), vec![stream], 1, 2);
+        topt.on_control(&ControlEvent::CurrentVertex(1));
+        topt.on_fill(0, 0, &meta(0));
+        topt.on_fill(0, 1, &meta(1));
+        topt.on_hit(0, 0, &meta(0)); // way 0 recently re-referenced
+        let ways = [
+            LineView {
+                valid: true,
+                line: 0,
+            },
+            LineView {
+                valid: true,
+                line: 1,
+            },
+        ];
+        let victim = topt.victim(&VictimCtx {
+            set: 0,
+            ways: &ways,
+            incoming: &meta(2),
+        });
+        assert_eq!(victim, 1, "staler way loses the tie");
+        assert_eq!(topt.overheads().ties, 1);
+        assert_eq!(topt.overheads().decisions, 1);
+    }
+}

@@ -1,0 +1,143 @@
+use crate::{Edge, Graph, GraphError, VertexId};
+
+/// Incremental builder for [`Graph`] values.
+///
+/// The generators and loaders produce raw edge streams that often need light
+/// cleanup before simulation: duplicate removal, self-loop removal, or
+/// symmetrization (the paper's undirected inputs are stored as symmetric
+/// directed graphs). `GraphBuilder` collects edges and applies the requested
+/// normalizations in [`GraphBuilder::build`].
+///
+/// # Example
+///
+/// ```
+/// use popt_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::new(3)
+///     .dedup(true)
+///     .drop_self_loops(true)
+///     .edge(0, 1)
+///     .edge(0, 1)
+///     .edge(1, 1)
+///     .edge(2, 0)
+///     .build()?;
+/// assert_eq!(g.num_edges(), 2);
+/// # Ok::<(), popt_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<Edge>,
+    dedup: bool,
+    drop_self_loops: bool,
+    symmetrize: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            edges: Vec::new(),
+            dedup: false,
+            drop_self_loops: false,
+            symmetrize: false,
+        }
+    }
+
+    /// Remove duplicate edges at build time.
+    pub fn dedup(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Remove self-loops at build time.
+    pub fn drop_self_loops(mut self, yes: bool) -> Self {
+        self.drop_self_loops = yes;
+        self
+    }
+
+    /// Add the reverse of every edge at build time (undirected semantics).
+    pub fn symmetrize(mut self, yes: bool) -> Self {
+        self.symmetrize = yes;
+        self
+    }
+
+    /// Appends one edge.
+    pub fn edge(mut self, src: VertexId, dst: VertexId) -> Self {
+        self.edges.push((src, dst));
+        self
+    }
+
+    /// Appends many edges.
+    pub fn edges<I: IntoIterator<Item = Edge>>(mut self, iter: I) -> Self {
+        self.edges.extend(iter);
+        self
+    }
+
+    /// Number of edges currently staged (before normalization).
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] for out-of-range endpoints.
+    pub fn build(self) -> Result<Graph, GraphError> {
+        let mut edges = self.edges;
+        if self.symmetrize {
+            let rev: Vec<Edge> = edges.iter().map(|&(s, d)| (d, s)).collect();
+            edges.extend(rev);
+        }
+        if self.drop_self_loops {
+            edges.retain(|&(s, d)| s != d);
+        }
+        if self.dedup {
+            edges.sort_unstable();
+            edges.dedup();
+        }
+        Graph::from_edges(self.num_vertices, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetrize_adds_reverse_edges() {
+        let g = GraphBuilder::new(3)
+            .symmetrize(true)
+            .edge(0, 1)
+            .build()
+            .unwrap();
+        assert_eq!(g.out_neighbors(1), &[0]);
+        assert_eq!(g.out_neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn symmetrize_then_dedup_collapses_bidirectional_pairs() {
+        let g = GraphBuilder::new(2)
+            .symmetrize(true)
+            .dedup(true)
+            .edge(0, 1)
+            .edge(1, 0)
+            .build()
+            .unwrap();
+        assert_eq!(g.num_edges(), 2); // (0,1) and (1,0), each once
+    }
+
+    #[test]
+    fn out_of_range_propagates() {
+        let err = GraphBuilder::new(1).edge(0, 1).build().unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+    }
+
+    #[test]
+    fn staged_edges_counts_raw_inserts() {
+        let b = GraphBuilder::new(4).edges([(0, 1), (1, 2)]).edge(2, 3);
+        assert_eq!(b.staged_edges(), 3);
+    }
+}

@@ -1,0 +1,60 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while constructing or loading graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint is `>= num_vertices`.
+    VertexOutOfRange {
+        /// The offending vertex ID.
+        vertex: u64,
+        /// The declared vertex count.
+        num_vertices: usize,
+    },
+    /// The vertex count exceeds what a 32-bit [`crate::VertexId`] can index.
+    TooManyVertices(usize),
+    /// A text edge list failed to parse.
+    Parse {
+        /// 1-based line number of the malformed line.
+        line: usize,
+        /// Description of what was wrong.
+        message: String,
+    },
+    /// Binary graph file had a bad magic number or truncated payload.
+    Format(String),
+    /// An underlying I/O error message (stringified to keep the type `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => {
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {num_vertices} vertices"
+                )
+            }
+            GraphError::TooManyVertices(n) => {
+                write!(f, "{n} vertices exceed the 32-bit vertex id space")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Format(msg) => write!(f, "malformed graph file: {msg}"),
+            GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(err: std::io::Error) -> Self {
+        GraphError::Io(err.to_string())
+    }
+}

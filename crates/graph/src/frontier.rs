@@ -1,0 +1,249 @@
+use crate::VertexId;
+
+/// Bit-vector frontier, as used by the Ligra-style kernels.
+///
+/// "PageRank-delta, Radii, and Maximal Independent Set use
+/// direction-switching and frontiers encoded as bit-vectors" (paper Table
+/// II). One bit per vertex, packed into `u64` words; the kernels treat the
+/// word array as a second irregularly-accessed data structure (Section V-F
+/// tracks `frontier` alongside `srcData`).
+///
+/// # Example
+///
+/// ```
+/// use popt_graph::Frontier;
+///
+/// let mut f = Frontier::new(100);
+/// f.insert(3);
+/// f.insert(64);
+/// assert!(f.contains(3));
+/// assert_eq!(f.len(), 2);
+/// assert_eq!(f.iter().collect::<Vec<_>>(), vec![3, 64]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frontier {
+    bits: Vec<u64>,
+    num_vertices: usize,
+    len: usize,
+}
+
+impl Frontier {
+    /// Creates an empty frontier over `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Frontier {
+            bits: vec![0; num_vertices.div_ceil(64)],
+            num_vertices,
+            len: 0,
+        }
+    }
+
+    /// Creates a frontier containing every vertex (a dense first iteration).
+    pub fn full(num_vertices: usize) -> Self {
+        let mut f = Frontier::new(num_vertices);
+        for w in &mut f.bits {
+            *w = u64::MAX;
+        }
+        if num_vertices % 64 != 0 {
+            if let Some(last) = f.bits.last_mut() {
+                *last = (1u64 << (num_vertices % 64)) - 1;
+            }
+        }
+        f.len = num_vertices;
+        f
+    }
+
+    /// Number of vertices the frontier can hold.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of set vertices.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no vertex is set.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Density in `[0, 1]`; kernels direction-switch on this (Beamer et al.).
+    pub fn density(&self) -> f64 {
+        if self.num_vertices == 0 {
+            0.0
+        } else {
+            self.len as f64 / self.num_vertices as f64
+        }
+    }
+
+    /// Adds `v`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn insert(&mut self, v: VertexId) -> bool {
+        assert!((v as usize) < self.num_vertices, "vertex {v} out of range");
+        let (word, bit) = (v as usize / 64, v as usize % 64);
+        let mask = 1u64 << bit;
+        if self.bits[word] & mask == 0 {
+            self.bits[word] |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `v`; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn remove(&mut self, v: VertexId) -> bool {
+        assert!((v as usize) < self.num_vertices, "vertex {v} out of range");
+        let (word, bit) = (v as usize / 64, v as usize % 64);
+        let mask = 1u64 << bit;
+        if self.bits[word] & mask != 0 {
+            self.bits[word] &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `v` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn contains(&self, v: VertexId) -> bool {
+        assert!((v as usize) < self.num_vertices, "vertex {v} out of range");
+        self.bits[v as usize / 64] & (1u64 << (v as usize % 64)) != 0
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+        self.len = 0;
+    }
+
+    /// Word index holding vertex `v`'s bit — the unit of the simulated
+    /// irregular memory access (8 B per word, 512 vertices per cache line).
+    pub fn word_index(v: VertexId) -> usize {
+        v as usize / 64
+    }
+
+    /// The backing words; the trace layer maps these to the simulated
+    /// frontier region.
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Iterates set vertices in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            frontier: self,
+            word: 0,
+            current: self.bits.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl FromIterator<VertexId> for Frontier {
+    /// Builds a frontier sized to the maximum inserted vertex + 1.
+    fn from_iter<I: IntoIterator<Item = VertexId>>(iter: I) -> Self {
+        let items: Vec<VertexId> = iter.into_iter().collect();
+        let n = items.iter().map(|&v| v as usize + 1).max().unwrap_or(0);
+        let mut f = Frontier::new(n);
+        for v in items {
+            f.insert(v);
+        }
+        f
+    }
+}
+
+/// Iterator over set vertices, produced by [`Frontier::iter`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    frontier: &'a Frontier,
+    word: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros();
+                self.current &= self.current - 1;
+                return Some((self.word * 64) as VertexId + bit);
+            }
+            self.word += 1;
+            if self.word >= self.frontier.bits.len() {
+                return None;
+            }
+            self.current = self.frontier.bits[self.word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut f = Frontier::new(130);
+        assert!(f.insert(0));
+        assert!(!f.insert(0));
+        assert!(f.insert(129));
+        assert!(f.contains(0));
+        assert!(f.contains(129));
+        assert!(!f.contains(64));
+        assert_eq!(f.len(), 2);
+        assert!(f.remove(0));
+        assert!(!f.remove(0));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn full_frontier_has_exact_len_and_clean_tail() {
+        let f = Frontier::full(70);
+        assert_eq!(f.len(), 70);
+        assert_eq!(f.iter().count(), 70);
+        assert!((f.density() - 1.0).abs() < 1e-12);
+        // Bits beyond num_vertices must be zero.
+        assert_eq!(f.words()[1] >> 6, 0);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let f: Frontier = [5u32, 63, 64, 127, 3].into_iter().collect();
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![3, 5, 63, 64, 127]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = Frontier::full(10);
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn contains_checks_range() {
+        let f = Frontier::new(8);
+        let _ = f.contains(8);
+    }
+
+    #[test]
+    fn word_index_is_64_per_word() {
+        assert_eq!(Frontier::word_index(0), 0);
+        assert_eq!(Frontier::word_index(63), 0);
+        assert_eq!(Frontier::word_index(64), 1);
+    }
+}

@@ -1,0 +1,341 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The paper evaluates on five real/synthetic inputs "diverse in size and
+//! degree-distributions (power-law, community, normal, bounded-degree)"
+//! (Table III). These generators produce scaled stand-ins for each
+//! archetype; [`crate::suite`] instantiates the named five.
+//!
+//! All generators are deterministic given their `seed`, so every experiment
+//! in the repository is bit-for-bit reproducible.
+
+use crate::{Edge, Graph, GraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform-random directed graph (Erdős–Rényi style): `num_edges` edges with
+/// independently uniform endpoints. Stand-in for the paper's `URAND` input.
+///
+/// Self-loops are removed (and not replaced), so the resulting edge count is
+/// marginally below `num_edges`.
+///
+/// # Example
+///
+/// ```
+/// let g = popt_graph::generators::uniform_random(100, 800, 7);
+/// assert!(g.num_edges() <= 800);
+/// assert_eq!(g.num_vertices(), 100);
+/// ```
+pub fn uniform_random(num_vertices: usize, num_edges: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = num_vertices as u64;
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let s = rng.gen_range(0..n) as VertexId;
+        let d = rng.gen_range(0..n) as VertexId;
+        edges.push((s, d));
+    }
+    GraphBuilder::new(num_vertices)
+        .drop_self_loops(true)
+        .edges(edges)
+        .build()
+        .expect("generated endpoints are in range")
+}
+
+/// Parameters of the recursive-matrix (R-MAT / Kronecker) generator.
+///
+/// `a + b + c + d` must sum to 1. Larger `a` means a more skewed (power-law)
+/// degree distribution. The Graph500 Kronecker generator uses
+/// `(0.57, 0.19, 0.19, 0.05)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Probability of recursing into the top-left quadrant.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// Graph500 Kronecker parameters — a *highly skewed* degree distribution
+    /// (the paper's `KRON` archetype, Section VII-A: "These synthetic KRON
+    /// graphs have highly skewed degree distributions").
+    pub const KRONECKER: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        d: 0.05,
+    };
+
+    /// Milder skew, resembling scraped knowledge-graph/web data such as
+    /// DBpedia (the paper's `DBP` archetype).
+    pub const POWER_LAW: RmatParams = RmatParams {
+        a: 0.45,
+        b: 0.22,
+        c: 0.22,
+        d: 0.11,
+    };
+
+    /// Validates that the quadrant probabilities form a distribution.
+    pub fn is_valid(&self) -> bool {
+        let sum = self.a + self.b + self.c + self.d;
+        (sum - 1.0).abs() < 1e-9 && self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0
+    }
+}
+
+/// R-MAT (recursive matrix) generator.
+///
+/// `scale` is log2 of the vertex count. Produces `num_edges` samples from
+/// the recursive quadrant distribution; self-loops are dropped.
+///
+/// # Panics
+///
+/// Panics if `params` is not a valid probability split or `scale >= 32`.
+///
+/// # Example
+///
+/// ```
+/// use popt_graph::generators::{rmat, RmatParams};
+///
+/// let g = rmat(10, 8 * 1024, RmatParams::KRONECKER, 1);
+/// assert_eq!(g.num_vertices(), 1024);
+/// ```
+pub fn rmat(scale: u32, num_edges: usize, params: RmatParams, seed: u64) -> Graph {
+    assert!(
+        params.is_valid(),
+        "RMAT quadrant probabilities must sum to 1"
+    );
+    assert!(scale < 32, "scale must keep vertex ids within u32");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_vertices = 1usize << scale;
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let (mut s, mut d) = (0u32, 0u32);
+        for _ in 0..scale {
+            s <<= 1;
+            d <<= 1;
+            let r: f64 = rng.gen();
+            if r < params.a {
+                // top-left: neither bit set
+            } else if r < params.a + params.b {
+                d |= 1;
+            } else if r < params.a + params.b + params.c {
+                s |= 1;
+            } else {
+                s |= 1;
+                d |= 1;
+            }
+        }
+        edges.push((s, d));
+    }
+    GraphBuilder::new(num_vertices)
+        .drop_self_loops(true)
+        .edges(edges)
+        .build()
+        .expect("generated endpoints are in range")
+}
+
+/// Community-structured graph (planted-partition / stochastic block model).
+///
+/// Vertices are split into `num_communities` equal blocks; each of
+/// `num_edges` samples stays inside the source's block with probability
+/// `p_internal` and otherwise picks a uniform destination. With high
+/// `p_internal` this mimics the strong locality of crawled web graphs — the
+/// paper's `UK-02` archetype and the target case of HATS-BDFS (Section
+/// VII-C1: "graphs with community structure — UK-02 and ARAB").
+///
+/// # Panics
+///
+/// Panics if `num_communities == 0` or `p_internal` is not in `[0, 1]`.
+pub fn community(
+    num_vertices: usize,
+    num_edges: usize,
+    num_communities: usize,
+    p_internal: f64,
+    seed: u64,
+) -> Graph {
+    assert!(num_communities > 0, "need at least one community");
+    assert!(
+        (0.0..=1.0).contains(&p_internal),
+        "p_internal must be a probability"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = num_vertices as u64;
+    let block = num_vertices.div_ceil(num_communities) as u64;
+    let mut edges: Vec<Edge> = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let s = rng.gen_range(0..n);
+        let d = if rng.gen_bool(p_internal) {
+            let base = (s / block) * block;
+            let span = block.min(n - base);
+            base + rng.gen_range(0..span)
+        } else {
+            rng.gen_range(0..n)
+        };
+        edges.push((s as VertexId, d as VertexId));
+    }
+    GraphBuilder::new(num_vertices)
+        .drop_self_loops(true)
+        .edges(edges)
+        .build()
+        .expect("generated endpoints are in range")
+}
+
+/// Bounded-degree 2-D mesh with a sprinkle of shortcut edges.
+///
+/// Each vertex of a `side × side` torus connects to its 4 von-Neumann
+/// neighbors plus `extra_per_vertex` random shortcuts. The result has a
+/// normal, tightly bounded degree distribution and a very high diameter —
+/// the paper's `HBUBL` archetype (whose "high diameter causes Radii to never
+/// switch to a pull iteration", Section VI).
+///
+/// # Panics
+///
+/// Panics if `side == 0`.
+pub fn mesh(side: usize, extra_per_vertex: usize, seed: u64) -> Graph {
+    assert!(side > 0, "mesh side must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = side * side;
+    let idx = |r: usize, c: usize| (r * side + c) as VertexId;
+    let mut edges = Vec::with_capacity(n * (4 + extra_per_vertex));
+    for r in 0..side {
+        for c in 0..side {
+            let v = idx(r, c);
+            edges.push((v, idx((r + 1) % side, c)));
+            edges.push((v, idx((r + side - 1) % side, c)));
+            edges.push((v, idx(r, (c + 1) % side)));
+            edges.push((v, idx(r, (c + side - 1) % side)));
+            for _ in 0..extra_per_vertex {
+                edges.push((v, rng.gen_range(0..n as u64) as VertexId));
+            }
+        }
+    }
+    GraphBuilder::new(n)
+        .drop_self_loops(true)
+        .dedup(true)
+        .edges(edges)
+        .build()
+        .expect("generated endpoints are in range")
+}
+
+/// Preferential-attachment power-law graph (Barabási–Albert flavor).
+///
+/// Every new vertex attaches `edges_per_vertex` out-edges, biased toward
+/// endpoints of previously placed edges. An alternative skewed generator
+/// used by tests to cross-check RMAT-based conclusions.
+///
+/// # Panics
+///
+/// Panics if `edges_per_vertex == 0` or `num_vertices < 2`.
+pub fn preferential_attachment(num_vertices: usize, edges_per_vertex: usize, seed: u64) -> Graph {
+    assert!(
+        edges_per_vertex > 0,
+        "each vertex must add at least one edge"
+    );
+    assert!(num_vertices >= 2, "need at least two vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // `endpoints` holds every edge endpoint seen so far; sampling it uniformly
+    // is sampling vertices proportional to degree.
+    let mut endpoints: Vec<VertexId> = vec![0, 1];
+    let mut edges: Vec<Edge> = vec![(0, 1)];
+    for v in 1..num_vertices as VertexId {
+        for _ in 0..edges_per_vertex {
+            let d = endpoints[rng.gen_range(0..endpoints.len())];
+            if d == v {
+                continue;
+            }
+            edges.push((v, d));
+            endpoints.push(v);
+            endpoints.push(d);
+        }
+    }
+    GraphBuilder::new(num_vertices)
+        .edges(edges)
+        .build()
+        .expect("generated endpoints are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform_random(200, 1000, 3), uniform_random(200, 1000, 3));
+        assert_eq!(
+            rmat(8, 2000, RmatParams::KRONECKER, 9),
+            rmat(8, 2000, RmatParams::KRONECKER, 9)
+        );
+        assert_eq!(
+            community(128, 1024, 8, 0.9, 5),
+            community(128, 1024, 8, 0.9, 5)
+        );
+        assert_eq!(mesh(16, 1, 2), mesh(16, 1, 2));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(uniform_random(200, 1000, 3), uniform_random(200, 1000, 4));
+    }
+
+    #[test]
+    fn kron_is_more_skewed_than_urand() {
+        let kron = rmat(12, 1 << 15, RmatParams::KRONECKER, 11);
+        let urand = uniform_random(1 << 12, 1 << 15, 11);
+        let skew_k = stats::degree_gini(&kron);
+        let skew_u = stats::degree_gini(&urand);
+        assert!(
+            skew_k > skew_u + 0.2,
+            "kron gini {skew_k} should far exceed urand gini {skew_u}"
+        );
+    }
+
+    #[test]
+    fn community_graph_keeps_most_edges_internal() {
+        let g = community(1024, 16 * 1024, 16, 0.95, 17);
+        let block = 1024 / 16;
+        let internal = g
+            .out_csr()
+            .iter_edges()
+            .filter(|&(s, d)| (s as usize / block) == (d as usize / block))
+            .count();
+        assert!(internal as f64 > 0.9 * g.num_edges() as f64);
+    }
+
+    #[test]
+    fn mesh_has_bounded_degree() {
+        let g = mesh(20, 1, 0);
+        let max = g.out_csr().max_degree();
+        assert!(
+            max <= 5,
+            "torus + 1 shortcut should cap out-degree at 5, saw {max}"
+        );
+        assert!(g.num_vertices() == 400);
+    }
+
+    #[test]
+    fn preferential_attachment_has_hubs() {
+        let g = preferential_attachment(2048, 4, 13);
+        let max_in = (0..2048).map(|v| g.in_degree(v as VertexId)).max().unwrap();
+        assert!(max_in > 40, "expected a hub, max in-degree {max_in}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rmat_rejects_bad_params() {
+        let _ = rmat(
+            4,
+            8,
+            RmatParams {
+                a: 0.9,
+                b: 0.9,
+                c: 0.0,
+                d: 0.0,
+            },
+            0,
+        );
+    }
+}

@@ -1,0 +1,210 @@
+use crate::{Csr, Edge, GraphError, VertexId};
+
+/// A directed graph stored in both traversal directions.
+///
+/// Graph frameworks "already store a graph and its transpose in a sparse
+/// format, allowing traversal in either dimension" (paper Section I); this
+/// type captures that convention. `out_csr` encodes outgoing neighbors (used
+/// by push traversals, rows of the adjacency matrix) and `in_csr` encodes
+/// incoming neighbors (used by pull traversals, columns of the adjacency
+/// matrix). Each is the transpose of the other.
+///
+/// # Example
+///
+/// ```
+/// use popt_graph::Graph;
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (2, 1)])?;
+/// assert_eq!(g.out_neighbors(0), &[1]);
+/// assert_eq!(g.in_neighbors(1), &[0, 2]);
+/// # Ok::<(), popt_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    out_csr: Csr,
+    in_csr: Csr,
+}
+
+impl Graph {
+    /// Builds a graph (both directions) from a directed edge list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from [`Csr::from_edges`] for out-of-range
+    /// endpoints or oversized vertex counts.
+    pub fn from_edges(num_vertices: usize, edges: &[Edge]) -> Result<Self, GraphError> {
+        let out_csr = Csr::from_edges(num_vertices, edges)?;
+        let in_csr = out_csr.transpose();
+        Ok(Graph { out_csr, in_csr })
+    }
+
+    /// Wraps an existing out-direction CSR, deriving the in-direction by
+    /// transposition.
+    pub fn from_out_csr(out_csr: Csr) -> Self {
+        let in_csr = out_csr.transpose();
+        Graph { out_csr, in_csr }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.out_csr.num_vertices()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.out_csr.num_edges()
+    }
+
+    /// Average degree (`edges / vertices`), 0.0 for an empty graph.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Outgoing neighbors of `v` (a row of the adjacency matrix).
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.out_csr.neighbors(v)
+    }
+
+    /// Incoming neighbors of `v` (a column of the adjacency matrix).
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.in_csr.neighbors(v)
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_csr.degree(v)
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_csr.degree(v)
+    }
+
+    /// The push-direction CSR (outgoing neighbors).
+    pub fn out_csr(&self) -> &Csr {
+        &self.out_csr
+    }
+
+    /// The pull-direction CSC (incoming neighbors), stored as a CSR of the
+    /// transpose.
+    pub fn in_csr(&self) -> &Csr {
+        &self.in_csr
+    }
+
+    /// For a traversal scanning `dir`, the CSR encoding the *other*
+    /// dimension — the structure T-OPT consults for next references.
+    pub fn transpose_of(&self, dir: Direction) -> &Csr {
+        match dir {
+            Direction::Pull => &self.out_csr,
+            Direction::Push => &self.in_csr,
+        }
+    }
+
+    /// The CSR a traversal in direction `dir` scans.
+    pub fn traversal_csr(&self, dir: Direction) -> &Csr {
+        match dir {
+            Direction::Pull => &self.in_csr,
+            Direction::Push => &self.out_csr,
+        }
+    }
+
+    /// Returns the same graph with every vertex renamed through `perm`,
+    /// where `perm[old] = new`. Used by the reordering schemes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..num_vertices`.
+    pub fn relabel(&self, perm: &[VertexId]) -> Graph {
+        assert_eq!(
+            perm.len(),
+            self.num_vertices(),
+            "permutation length mismatch"
+        );
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(!seen[p as usize], "perm is not a bijection");
+            seen[p as usize] = true;
+        }
+        let edges: Vec<Edge> = self
+            .out_csr
+            .iter_edges()
+            .map(|(s, d)| (perm[s as usize], perm[d as usize]))
+            .collect();
+        Graph::from_edges(self.num_vertices(), &edges).expect("relabel preserves validity")
+    }
+}
+
+/// Traversal direction of a graph kernel (paper Figure 1).
+///
+/// Pull scans incoming neighbors (CSC, adjacency-matrix columns) and makes
+/// irregular reads of source-indexed data; push scans outgoing neighbors
+/// (CSR, rows) and makes irregular accesses of destination-indexed data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Iterate destinations, scan incoming neighbors.
+    Pull,
+    /// Iterate sources, scan outgoing neighbors.
+    Push,
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Direction::Pull => write!(f, "pull"),
+            Direction::Push => write!(f, "push"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_directions_agree() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (3, 2)]).unwrap();
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(2), &[0, 3]);
+        assert_eq!(g.out_degree(3), 1);
+        assert_eq!(g.in_degree(1), 1);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn transpose_of_is_opposite_of_traversal() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.traversal_csr(Direction::Pull), g.in_csr());
+        assert_eq!(g.transpose_of(Direction::Pull), g.out_csr());
+        assert_eq!(g.traversal_csr(Direction::Push), g.out_csr());
+        assert_eq!(g.transpose_of(Direction::Push), g.in_csr());
+    }
+
+    #[test]
+    fn relabel_applies_permutation() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        // Swap vertices 0 and 2.
+        let h = g.relabel(&[2, 1, 0]);
+        assert_eq!(h.out_neighbors(2), &[1]);
+        assert_eq!(h.out_neighbors(1), &[0]);
+        assert_eq!(h.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a bijection")]
+    fn relabel_rejects_non_permutation() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let _ = g.relabel(&[0, 0]);
+    }
+
+    #[test]
+    fn average_degree() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        assert!((g.average_degree() - 0.5).abs() < 1e-12);
+        let empty = Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(empty.average_degree(), 0.0);
+    }
+}

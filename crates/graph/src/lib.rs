@@ -1,0 +1,61 @@
+//! Graph substrate for the P-OPT reproduction.
+//!
+//! This crate provides everything the paper's evaluation needs on the graph
+//! side:
+//!
+//! * [`Csr`] — the Compressed Sparse Row structure (an offsets array plus a
+//!   neighbor array, exactly Figure 1 of the paper). A CSC is simply the
+//!   [`Csr`] of the transposed edge set.
+//! * [`Graph`] — a directed graph holding **both** traversal directions
+//!   (out-CSR and in-CSR); the paper relies on frameworks storing both a
+//!   graph and its transpose (Section III-A).
+//! * [`generators`] — deterministic synthetic graph generators covering the
+//!   structural archetypes of the paper's Table III inputs (power-law,
+//!   community, Kronecker, uniform, bounded-degree mesh).
+//! * [`suite`] — the five named stand-in inputs (`dbp`, `uk02`, `kron`,
+//!   `urand`, `hbubl`) used by every experiment.
+//! * [`reorder`] — vertex reordering (degree sort, DBG grouping for GRASP,
+//!   random permutation).
+//! * [`tiling`] — CSR-segmenting (1-D tiling) from Zhang et al., used by the
+//!   Figure 13 experiment.
+//! * [`Frontier`] — the bit-vector frontier representation used by the
+//!   Ligra-style kernels.
+//!
+//! # Example
+//!
+//! ```
+//! use popt_graph::{generators, Graph};
+//!
+//! let g: Graph = generators::uniform_random(1_000, 8_000, 42);
+//! assert_eq!(g.num_vertices(), 1_000);
+//! // Every edge is visible from both directions.
+//! let e_out: usize = (0..g.num_vertices() as u32).map(|v| g.out_degree(v)).sum();
+//! let e_in: usize = (0..g.num_vertices() as u32).map(|v| g.in_degree(v)).sum();
+//! assert_eq!(e_out, e_in);
+//! ```
+
+mod builder;
+mod csr;
+mod error;
+mod frontier;
+pub mod generators;
+mod graph;
+pub mod io;
+pub mod reorder;
+pub mod stats;
+pub mod suite;
+pub mod tiling;
+
+pub use builder::GraphBuilder;
+pub use csr::Csr;
+pub use error::GraphError;
+pub use frontier::Frontier;
+pub use graph::{Direction, Graph};
+
+/// Vertex identifier. The paper assumes 32-bit vertex IDs throughout
+/// (Section IV-A: "the range of next references ... typically a 32-bit
+/// value").
+pub type VertexId = u32;
+
+/// A directed edge, `(source, destination)`.
+pub type Edge = (VertexId, VertexId);

@@ -1,0 +1,164 @@
+//! Vertex reordering schemes.
+//!
+//! GRASP (Faldu et al., HPCA 2020) "expects a pre-processed input vertex
+//! array and uses Degree-Based Grouping (DBG) to order vertices" (paper
+//! Section VII-C1). P-OPT itself is ordering-agnostic, which the Figure 12a
+//! experiment demonstrates by running both policies on DBG-ordered inputs.
+//!
+//! Every function returns a permutation `perm` with `perm[old] = new`,
+//! applied via [`Graph::relabel`].
+
+use crate::{Graph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Degree-Based Grouping (DBG).
+///
+/// Vertices are partitioned into power-of-two degree classes relative to the
+/// average degree, and classes are laid out from hottest (highest degree) to
+/// coldest, preserving the original relative order *within* each class —
+/// DBG's defining property, which keeps most of the original locality
+/// structure intact while packing hubs together.
+///
+/// Returns `(perm, boundaries)` where `boundaries` are the vertex-ID
+/// boundaries (in the *new* ID space) between the groups, hottest first.
+/// GRASP uses these boundaries to classify addresses into hot / warm / cold
+/// regions.
+pub fn degree_based_grouping(g: &Graph) -> (Vec<VertexId>, Vec<VertexId>) {
+    let n = g.num_vertices();
+    let avg = g.average_degree().max(1.0);
+    // Group index: 0 holds degree >= 32*avg, then 16*avg, ... last holds < avg/2.
+    // 8 groups is what the DBG paper uses for its evaluation sweet spot.
+    const GROUPS: usize = 8;
+    let group_of = |deg: f64| -> usize {
+        let mut threshold = avg * 32.0;
+        for group in 0..GROUPS - 1 {
+            if deg >= threshold {
+                return group;
+            }
+            threshold /= 2.0;
+        }
+        GROUPS - 1
+    };
+    let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); GROUPS];
+    for v in 0..n {
+        // DBG groups by total connectivity; in-degree drives pull reuse.
+        let deg = (g.in_degree(v as VertexId) + g.out_degree(v as VertexId)) as f64;
+        members[group_of(deg)].push(v as VertexId);
+    }
+    let mut perm = vec![0 as VertexId; n];
+    let mut boundaries = Vec::with_capacity(GROUPS);
+    let mut next = 0 as VertexId;
+    for group in members {
+        for v in group {
+            perm[v as usize] = next;
+            next += 1;
+        }
+        boundaries.push(next);
+    }
+    (perm, boundaries)
+}
+
+/// Sort by descending in-degree (classic "hub sorting"). Fully reorders,
+/// destroying intra-class original order — included as a contrast to DBG.
+pub fn sort_by_degree(g: &Graph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g.in_degree(v)));
+    let mut perm = vec![0 as VertexId; n];
+    for (new, &old) in order.iter().enumerate() {
+        perm[old as usize] = new as VertexId;
+    }
+    perm
+}
+
+/// Uniform random permutation — the worst-case ordering, used by tests to
+/// show P-OPT's benefits are ordering-agnostic.
+pub fn random_permutation(n: usize, seed: u64) -> Vec<VertexId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+    // Fisher–Yates.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i as u64) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn is_permutation(perm: &[VertexId]) -> bool {
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            if seen[p as usize] {
+                return false;
+            }
+            seen[p as usize] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn dbg_returns_a_permutation_with_monotone_boundaries() {
+        let g = generators::rmat(10, 8 * 1024, generators::RmatParams::KRONECKER, 3);
+        let (perm, bounds) = degree_based_grouping(&g);
+        assert!(is_permutation(&perm));
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*bounds.last().unwrap() as usize, g.num_vertices());
+    }
+
+    #[test]
+    fn dbg_puts_hubs_first() {
+        let g = generators::preferential_attachment(4096, 4, 5);
+        let (perm, _) = degree_based_grouping(&g);
+        let h = g.relabel(&perm);
+        // Average connectivity of the first 5% of new IDs must exceed the last 5%.
+        let n = h.num_vertices();
+        let head: usize = (0..n / 20)
+            .map(|v| h.in_degree(v as u32) + h.out_degree(v as u32))
+            .sum();
+        let tail: usize = (n - n / 20..n)
+            .map(|v| h.in_degree(v as u32) + h.out_degree(v as u32))
+            .sum();
+        assert!(
+            head > tail,
+            "hot group head {head} should out-degree tail {tail}"
+        );
+    }
+
+    #[test]
+    fn dbg_preserves_relative_order_within_a_group() {
+        // A bounded-degree graph puts every vertex in one group, so DBG must
+        // be the identity.
+        let g = generators::mesh(12, 0, 0);
+        let (perm, _) = degree_based_grouping(&g);
+        assert!(
+            perm.windows(2).all(|w| w[0] < w[1]),
+            "identity permutation expected"
+        );
+    }
+
+    #[test]
+    fn degree_sort_is_monotone() {
+        let g = generators::rmat(9, 4096, generators::RmatParams::KRONECKER, 1);
+        let perm = sort_by_degree(&g);
+        assert!(is_permutation(&perm));
+        let h = g.relabel(&perm);
+        for v in 0..h.num_vertices() as u32 - 1 {
+            assert!(h.in_degree(v) >= h.in_degree(v + 1));
+        }
+    }
+
+    #[test]
+    fn random_permutation_is_valid_and_seeded() {
+        let a = random_permutation(1000, 1);
+        let b = random_permutation(1000, 1);
+        let c = random_permutation(1000, 2);
+        assert!(is_permutation(&a));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

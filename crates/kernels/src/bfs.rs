@@ -1,0 +1,124 @@
+//! Direction-optimizing BFS (Beamer et al. [11]) — the framework
+//! optimization the paper's frontier-based workloads rely on, provided as
+//! a standalone kernel for the examples.
+//!
+//! Sparse frontiers expand top-down (push); once the frontier covers more
+//! than a threshold fraction of the graph, iterations switch bottom-up
+//! (pull), scanning unvisited vertices' incoming neighbors.
+
+use popt_graph::{Frontier, Graph, VertexId};
+
+/// Frontier density above which iterations run bottom-up.
+pub const SWITCH_THRESHOLD: f64 = 0.05;
+
+/// Result of a BFS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsResult {
+    /// Distance from the source (`u32::MAX` when unreachable).
+    pub dist: Vec<u32>,
+    /// Direction chosen per iteration (`true` = pull/bottom-up).
+    pub pulled: Vec<bool>,
+}
+
+/// Runs a direction-optimizing BFS from `source` over out-edges.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+///
+/// # Example
+///
+/// ```
+/// let g = popt_graph::Graph::from_edges(4, &[(0, 1), (1, 2)])?;
+/// let r = popt_kernels::bfs::run(&g, 0);
+/// assert_eq!(&r.dist[..3], &[0, 1, 2]);
+/// assert_eq!(r.dist[3], u32::MAX);
+/// # Ok::<(), popt_graph::GraphError>(())
+/// ```
+pub fn run(g: &Graph, source: VertexId) -> BfsResult {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![u32::MAX; n];
+    dist[source as usize] = 0;
+    let mut frontier = Frontier::new(n);
+    frontier.insert(source);
+    let mut pulled = Vec::new();
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        level += 1;
+        let pull = frontier.density() >= SWITCH_THRESHOLD;
+        pulled.push(pull);
+        let mut next = Frontier::new(n);
+        if pull {
+            for v in 0..n as VertexId {
+                if dist[v as usize] != u32::MAX {
+                    continue;
+                }
+                if g.in_neighbors(v).iter().any(|&u| frontier.contains(u)) {
+                    dist[v as usize] = level;
+                    next.insert(v);
+                }
+            }
+        } else {
+            for u in frontier.iter() {
+                for &v in g.out_neighbors(u) {
+                    if dist[v as usize] == u32::MAX {
+                        dist[v as usize] = level;
+                        next.insert(v);
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    BfsResult { dist, pulled }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popt_graph::generators;
+    use std::collections::VecDeque;
+
+    fn reference_bfs(g: &Graph, source: VertexId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; g.num_vertices()];
+        dist[source as usize] = 0;
+        let mut q = VecDeque::from([source]);
+        while let Some(v) = q.pop_front() {
+            for &w in g.out_neighbors(v) {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    q.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    #[test]
+    fn matches_reference_bfs() {
+        for seed in 0..4 {
+            let g = generators::uniform_random(400, 2400, seed);
+            let r = run(&g, (seed % 17) as u32);
+            assert_eq!(r.dist, reference_bfs(&g, (seed % 17) as u32), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dense_graphs_trigger_pull_iterations() {
+        let g = generators::uniform_random(512, 8192, 1);
+        let r = run(&g, 0);
+        assert!(
+            r.pulled.iter().any(|&p| p),
+            "expansion should densify and switch to pull"
+        );
+    }
+
+    #[test]
+    fn high_diameter_meshes_stay_push_longer() {
+        let g = generators::mesh(32, 0, 0);
+        let r = run(&g, 0);
+        let push_prefix = r.pulled.iter().take_while(|&&p| !p).count();
+        assert!(push_prefix >= 3, "mesh BFS should stay push for a while");
+    }
+}

@@ -1,0 +1,134 @@
+use popt_core::IrregularStream;
+use popt_graph::VertexId;
+use popt_trace::{AddressSpace, RegionId, TraceEvent, TraceSink};
+
+/// Instruction-tick estimate per edge beyond its memory accesses
+/// (index arithmetic, compare, accumulate).
+pub(crate) const EDGE_INSTRS: u32 = 3;
+/// Instruction-tick estimate per outer-loop vertex beyond its accesses.
+pub(crate) const VERTEX_INSTRS: u32 = 5;
+
+/// One irregular data structure a kernel exposes to the graph-aware
+/// policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IrregSpec {
+    /// The region in the plan's address space.
+    pub region: RegionId,
+    /// How many vertices one element of the region covers (1 for vertex
+    /// data, 64 for a `u64` frontier word).
+    pub vertices_per_elem: u32,
+}
+
+/// The memory layout of one kernel execution: the simulated address space
+/// plus which regions are the irregularly-accessed ones.
+#[derive(Debug, Clone)]
+pub struct TracePlan {
+    /// Simulated address space holding every kernel array.
+    pub space: AddressSpace,
+    /// Irregular streams, in the order the kernel declares them.
+    pub irregs: Vec<IrregSpec>,
+}
+
+impl TracePlan {
+    /// All region IDs in allocation order (kernels allocate their arrays in
+    /// a fixed, documented order).
+    pub fn region_ids(&self) -> Vec<RegionId> {
+        (0..self.space.num_regions())
+            .map(|i| self.space.id(i))
+            .collect()
+    }
+
+    /// The `(irreg_base, irreg_bound)` register values plus line granularity
+    /// for each irregular stream — what T-OPT consumes.
+    pub fn irregular_streams(&self) -> Vec<IrregularStream> {
+        self.irregs
+            .iter()
+            .map(|spec| {
+                let r = self.space.region(spec.region);
+                IrregularStream {
+                    base: r.base(),
+                    bound: r.bound(),
+                    vertices_per_line: r.elems_per_line() as u32 * spec.vertices_per_elem,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Emitter helper shared by the kernel trace implementations: wraps a sink
+/// and the address space, providing element-indexed access emission.
+pub(crate) struct Emit<'a, S: TraceSink> {
+    pub space: &'a AddressSpace,
+    pub sink: S,
+}
+
+impl<S: TraceSink> Emit<'_, S> {
+    pub fn read(&mut self, region: RegionId, index: u64, site: u32) {
+        self.sink
+            .event(TraceEvent::read(self.space.addr_of(region, index), site));
+    }
+
+    pub fn write(&mut self, region: RegionId, index: u64, site: u32) {
+        self.sink
+            .event(TraceEvent::write(self.space.addr_of(region, index), site));
+    }
+
+    pub fn current_vertex(&mut self, v: VertexId) {
+        self.sink.event(TraceEvent::CurrentVertex(v));
+    }
+
+    pub fn iteration_begin(&mut self) {
+        self.sink.event(TraceEvent::IterationBegin);
+    }
+
+    pub fn instructions(&mut self, n: u32) {
+        self.sink.event(TraceEvent::Instructions(n));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popt_trace::{RecordingSink, RegionClass};
+
+    #[test]
+    fn irregular_streams_carry_granularity() {
+        let mut space = AddressSpace::new();
+        let data = space.alloc("data", 256, 4, RegionClass::Irregular);
+        let frontier = space.alloc("frontier", 4, 8, RegionClass::Irregular);
+        let plan = TracePlan {
+            space,
+            irregs: vec![
+                IrregSpec {
+                    region: data,
+                    vertices_per_elem: 1,
+                },
+                IrregSpec {
+                    region: frontier,
+                    vertices_per_elem: 64,
+                },
+            ],
+        };
+        let streams = plan.irregular_streams();
+        assert_eq!(streams[0].vertices_per_line, 16);
+        assert_eq!(streams[1].vertices_per_line, 512);
+        assert!(streams[0].bound > streams[0].base);
+    }
+
+    #[test]
+    fn emit_translates_indices_to_addresses() {
+        let mut space = AddressSpace::new();
+        let r = space.alloc("r", 8, 4, RegionClass::Streaming);
+        let mut rec = RecordingSink::new();
+        {
+            let mut emit = Emit {
+                space: &space,
+                sink: &mut rec,
+            };
+            emit.read(r, 2, 9);
+        }
+        let a = rec.events()[0].as_access().unwrap();
+        assert_eq!(a.addr, space.addr_of(r, 2));
+        assert_eq!(a.site.0, 9);
+    }
+}

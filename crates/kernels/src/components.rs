@@ -1,0 +1,185 @@
+//! Connected Components via Shiloach-Vishkin-style label propagation —
+//! the paper's push-only workload (4 B irregular elements, transpose =
+//! in-CSC; Table II).
+//!
+//! The push iteration scans each source's *outgoing* neighbors and updates
+//! `comp[dst]` — destination-indexed irregular accesses, the mirror image
+//! of PageRank's pull pattern. The transpose consulted for next references
+//! is therefore the CSC.
+
+use crate::common::{Emit, IrregSpec, TracePlan, EDGE_INSTRS, VERTEX_INSTRS};
+use popt_graph::{Graph, VertexId};
+use popt_trace::{AddressSpace, RegionClass, TraceSink};
+
+/// Access-site IDs for the push loop.
+pub mod sites {
+    /// Offsets-array read.
+    pub const OA: u32 = 20;
+    /// Neighbor-array read.
+    pub const NA: u32 = 21;
+    /// `comp[dst]` irregular read.
+    pub const COMP_READ: u32 = 22;
+    /// `comp[dst]` irregular write (hook).
+    pub const COMP_WRITE: u32 = 23;
+    /// `comp[src]` streaming read.
+    pub const COMP_SRC: u32 = 24;
+}
+
+/// Computes connected components of the *underlying undirected* graph
+/// (hooking over both directions plus pointer-jumping compression, the
+/// Shiloach-Vishkin structure). Returns the component label (smallest
+/// member vertex ID) per vertex.
+///
+/// # Example
+///
+/// ```
+/// let g = popt_graph::Graph::from_edges(5, &[(0, 1), (3, 4)])?;
+/// let comp = popt_kernels::components::run(&g);
+/// assert_eq!(comp[0], comp[1]);
+/// assert_eq!(comp[3], comp[4]);
+/// assert_ne!(comp[0], comp[3]);
+/// # Ok::<(), popt_graph::GraphError>(())
+/// ```
+pub fn run(g: &Graph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut comp: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Hooking: push smaller labels along edges (both directions, since
+        // components are defined on the undirected view).
+        for src in 0..n as VertexId {
+            let cs = comp[src as usize];
+            for &dst in g.out_neighbors(src) {
+                let cd = comp[dst as usize];
+                if cs < cd {
+                    comp[dst as usize] = cs;
+                    changed = true;
+                } else if cd < comp[src as usize] {
+                    comp[src as usize] = cd;
+                    changed = true;
+                }
+            }
+        }
+        // Compression: pointer jumping.
+        for v in 0..n {
+            while comp[v] != comp[comp[v] as usize] {
+                comp[v] = comp[comp[v] as usize];
+            }
+        }
+    }
+    comp
+}
+
+/// Lays out the push iteration's arrays: streaming OA/NA plus the `comp`
+/// array. `comp` is *irregularly* written through `dst` indices; the
+/// streaming `comp[src]` reads of the outer loop also land there, matching
+/// the real kernel where one array serves both roles — classification by
+/// region necessarily marks it irregular, exactly like the paper's
+/// `irreg_base`/`bound` scheme would.
+pub fn plan(g: &Graph) -> TracePlan {
+    let n = g.num_vertices() as u64;
+    let mut space = AddressSpace::new();
+    let _oa = space.alloc("oa", n + 1, 8, RegionClass::Streaming);
+    let _na = space.alloc("na", g.num_edges() as u64, 4, RegionClass::Streaming);
+    let comp = space.alloc("comp", n, 4, RegionClass::Irregular);
+    TracePlan {
+        space,
+        irregs: vec![IrregSpec {
+            region: comp,
+            vertices_per_elem: 1,
+        }],
+    }
+}
+
+/// Emits the access stream of one push (hooking) iteration.
+pub fn trace<S: TraceSink>(g: &Graph, plan: &TracePlan, sink: S) {
+    let regions = plan.region_ids();
+    let (oa, na, comp) = (regions[0], regions[1], regions[2]);
+    let mut emit = Emit {
+        space: &plan.space,
+        sink,
+    };
+    emit.iteration_begin();
+    let n = g.num_vertices() as VertexId;
+    for src in 0..n {
+        emit.current_vertex(src);
+        emit.read(oa, src as u64, sites::OA);
+        emit.read(comp, src as u64, sites::COMP_SRC);
+        emit.instructions(VERTEX_INSTRS);
+        let mut cursor = g.out_csr().offsets()[src as usize];
+        for &dst in g.out_neighbors(src) {
+            emit.read(na, cursor, sites::NA);
+            emit.read(comp, dst as u64, sites::COMP_READ);
+            // First-iteration hooking writes when src's label is smaller.
+            if src < dst {
+                emit.write(comp, dst as u64, sites::COMP_WRITE);
+            }
+            emit.instructions(EDGE_INSTRS);
+            cursor += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popt_graph::generators;
+    use popt_trace::CountingSink;
+    use std::collections::VecDeque;
+
+    /// Reference: BFS components over the undirected view.
+    fn bfs_components(g: &Graph) -> Vec<VertexId> {
+        let n = g.num_vertices();
+        let mut comp = vec![u32::MAX; n];
+        for start in 0..n as VertexId {
+            if comp[start as usize] != u32::MAX {
+                continue;
+            }
+            comp[start as usize] = start;
+            let mut q = VecDeque::from([start]);
+            while let Some(v) = q.pop_front() {
+                for &w in g.out_neighbors(v).iter().chain(g.in_neighbors(v)) {
+                    if comp[w as usize] == u32::MAX {
+                        comp[w as usize] = start;
+                        q.push_back(w);
+                    }
+                }
+            }
+        }
+        comp
+    }
+
+    #[test]
+    fn matches_bfs_reference_on_random_graphs() {
+        for seed in 0..5 {
+            let g = generators::uniform_random(200, 300, seed); // sparse: many components
+            let sv = run(&g);
+            let bfs = bfs_components(&g);
+            // Labels must induce the same partition; both use the smallest
+            // member as representative, so they are equal outright.
+            assert_eq!(sv, bfs, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_are_their_own_component() {
+        let g = popt_graph::Graph::from_edges(4, &[(1, 2)]).unwrap();
+        let comp = run(&g);
+        assert_eq!(comp, vec![0, 1, 1, 3]);
+    }
+
+    #[test]
+    fn trace_emits_push_pattern() {
+        let g = generators::uniform_random(64, 400, 9);
+        let p = plan(&g);
+        let mut sink = CountingSink::new();
+        trace(&g, &p, &mut sink);
+        let v = g.num_vertices() as u64;
+        let e = g.num_edges() as u64;
+        // Per vertex: OA + comp[src]; per edge: NA + comp[dst].
+        assert_eq!(sink.reads, 2 * v + 2 * e);
+        assert!(sink.writes <= e);
+        assert_eq!(sink.vertex_updates, v);
+    }
+}

@@ -1,0 +1,246 @@
+//! Maximal Independent Set (Luby/Ligra style) — pull-mostly, 4 B irregular
+//! state plus a frontier bit (Table II).
+//!
+//! Each vertex draws a random priority; an undecided vertex joins the set
+//! when its priority beats every undecided neighbor's, and neighbors of
+//! set members drop out. "Iteratively processes vertex subsets to estimate
+//! the maximal independent set" (Section VI).
+
+use crate::common::{Emit, IrregSpec, TracePlan, EDGE_INSTRS, VERTEX_INSTRS};
+use popt_graph::{Frontier, Graph, VertexId};
+use popt_trace::{AddressSpace, RegionClass, TraceSink};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Access-site IDs.
+pub mod sites {
+    /// Offsets-array read.
+    pub const OA: u32 = 50;
+    /// Neighbor-array read.
+    pub const NA: u32 = 51;
+    /// Frontier (undecided bit-vector) word read (irregular).
+    pub const FRONTIER: u32 = 52;
+    /// Neighbor priority/state irregular read.
+    pub const STATE: u32 = 53;
+    /// Own-state write.
+    pub const STATE_WRITE: u32 = 54;
+}
+
+/// Per-vertex decision state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Not yet decided.
+    Undecided,
+    /// In the independent set.
+    In,
+    /// Excluded (a neighbor is in the set).
+    Out,
+}
+
+/// Evolving state, exposed for iteration sampling.
+#[derive(Debug, Clone)]
+pub struct State {
+    /// Random priorities (a permutation of 0..n).
+    pub priorities: Vec<u32>,
+    /// Decision per vertex.
+    pub decisions: Vec<Decision>,
+    /// Undecided vertices (the active frontier).
+    pub frontier: Frontier,
+    /// Rounds applied.
+    pub round: u32,
+}
+
+impl State {
+    /// Initializes with a seeded random priority permutation.
+    pub fn new(g: &Graph, seed: u64) -> Self {
+        let n = g.num_vertices();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut priorities: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i as u64) as usize;
+            priorities.swap(i, j);
+        }
+        State {
+            priorities,
+            decisions: vec![Decision::Undecided; n],
+            frontier: Frontier::full(n),
+            round: 0,
+        }
+    }
+
+    /// Neighbors on the undirected view (MIS is defined on it).
+    fn undirected_neighbors<'a>(g: &'a Graph, v: VertexId) -> impl Iterator<Item = VertexId> + 'a {
+        g.out_neighbors(v).iter().chain(g.in_neighbors(v)).copied()
+    }
+
+    /// One Luby round: winners join, their neighbors drop out.
+    pub fn step(&mut self, g: &Graph) {
+        self.round += 1;
+        let mut winners = Vec::new();
+        for v in self.frontier.iter() {
+            let pv = self.priorities[v as usize];
+            let beaten = Self::undirected_neighbors(g, v).any(|u| {
+                u != v
+                    && self.decisions[u as usize] == Decision::Undecided
+                    && self.priorities[u as usize] < pv
+            });
+            if !beaten {
+                winners.push(v);
+            }
+        }
+        for &v in &winners {
+            if self.decisions[v as usize] != Decision::Undecided {
+                continue; // a lower-priority winner neighbor got here first
+            }
+            self.decisions[v as usize] = Decision::In;
+            self.frontier.remove(v);
+            for u in Self::undirected_neighbors(g, v).collect::<Vec<_>>() {
+                if self.decisions[u as usize] == Decision::Undecided {
+                    self.decisions[u as usize] = Decision::Out;
+                    self.frontier.remove(u);
+                }
+            }
+        }
+    }
+}
+
+/// Computes a maximal independent set; returns membership per vertex.
+pub fn run(g: &Graph, seed: u64) -> Vec<bool> {
+    let mut state = State::new(g, seed);
+    while !state.frontier.is_empty() {
+        state.step(g);
+    }
+    state.decisions.iter().map(|&d| d == Decision::In).collect()
+}
+
+/// Lays out the arrays: streaming OA/NA; irregular per-vertex state (4 B)
+/// and the undecided-set frontier words.
+pub fn plan(g: &Graph) -> TracePlan {
+    let n = g.num_vertices() as u64;
+    let mut space = AddressSpace::new();
+    let _oa = space.alloc("oa", n + 1, 8, RegionClass::Streaming);
+    let _na = space.alloc("na", g.num_edges() as u64, 4, RegionClass::Streaming);
+    let state = space.alloc("state", n, 4, RegionClass::Irregular);
+    let frontier = space.alloc("frontier", n.div_ceil(64), 8, RegionClass::Irregular);
+    TracePlan {
+        space,
+        irregs: vec![
+            IrregSpec {
+                region: state,
+                vertices_per_elem: 1,
+            },
+            IrregSpec {
+                region: frontier,
+                vertices_per_elem: 64,
+            },
+        ],
+    }
+}
+
+/// Warm-up rounds before the sampled trace iteration.
+pub const SAMPLED_ROUND: usize = 1;
+
+/// Emits the access stream of a sampled pull round over the undecided set.
+pub fn trace<S: TraceSink>(g: &Graph, plan: &TracePlan, sink: S) {
+    let mut state = State::new(g, 0x715);
+    for _ in 0..SAMPLED_ROUND {
+        if state.frontier.is_empty() {
+            break;
+        }
+        state.step(g);
+    }
+    let regions = plan.region_ids();
+    let (oa, na, st, frontier) = (regions[0], regions[1], regions[2], regions[3]);
+    let mut emit = Emit {
+        space: &plan.space,
+        sink,
+    };
+    emit.iteration_begin();
+    let n = g.num_vertices() as VertexId;
+    for dst in 0..n {
+        emit.current_vertex(dst);
+        if state.decisions[dst as usize] != Decision::Undecided {
+            emit.read(frontier, Frontier::word_index(dst) as u64, sites::FRONTIER);
+            emit.instructions(1);
+            continue;
+        }
+        emit.read(oa, dst as u64, sites::OA);
+        emit.instructions(VERTEX_INSTRS);
+        let mut cursor = g.in_csr().offsets()[dst as usize];
+        for &src in g.in_neighbors(dst) {
+            emit.read(na, cursor, sites::NA);
+            emit.read(frontier, Frontier::word_index(src) as u64, sites::FRONTIER);
+            if state.frontier.contains(src) {
+                emit.read(st, src as u64, sites::STATE);
+            }
+            emit.instructions(EDGE_INSTRS);
+            cursor += 1;
+        }
+        emit.write(st, dst as u64, sites::STATE_WRITE);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popt_graph::generators;
+    use popt_trace::CountingSink;
+
+    fn verify_mis(g: &Graph, in_set: &[bool]) {
+        // Independence: no edge joins two set members.
+        for (s, d) in g.out_csr().iter_edges() {
+            if s != d {
+                assert!(
+                    !(in_set[s as usize] && in_set[d as usize]),
+                    "edge ({s},{d}) in set"
+                );
+            }
+        }
+        // Maximality: every excluded vertex has a set neighbor.
+        for v in 0..g.num_vertices() as VertexId {
+            if !in_set[v as usize] {
+                let has = g
+                    .out_neighbors(v)
+                    .iter()
+                    .chain(g.in_neighbors(v))
+                    .any(|&u| in_set[u as usize]);
+                assert!(has, "vertex {v} excluded without a set neighbor");
+            }
+        }
+    }
+
+    #[test]
+    fn produces_a_valid_mis_on_random_graphs() {
+        for seed in 0..4 {
+            let g = generators::uniform_random(300, 1500, seed);
+            let in_set = run(&g, seed * 7 + 1);
+            verify_mis(&g, &in_set);
+        }
+    }
+
+    #[test]
+    fn produces_a_valid_mis_on_skewed_graphs() {
+        let g = generators::rmat(9, 4096, generators::RmatParams::KRONECKER, 2);
+        let in_set = run(&g, 5);
+        verify_mis(&g, &in_set);
+    }
+
+    #[test]
+    fn edgeless_graph_selects_everyone() {
+        let g = Graph::from_edges(10, &[]).unwrap();
+        let in_set = run(&g, 1);
+        assert!(in_set.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn trace_shrinks_with_the_frontier() {
+        let g = generators::uniform_random(256, 2048, 3);
+        let p = plan(&g);
+        let mut sink = CountingSink::new();
+        trace(&g, &p, &mut sink);
+        // After one round many vertices are decided: fewer than one OA read
+        // per vertex plus the full edge scan.
+        assert!(sink.reads < 2 * (g.num_vertices() as u64 + 2 * g.num_edges() as u64));
+        assert!(sink.reads > 0);
+    }
+}

@@ -1,0 +1,311 @@
+//! PageRank — the paper's primary workload (pull-only, 4 B irregular
+//! elements, transpose = out-CSR; Table II).
+//!
+//! The pull iteration is Algorithm 1 of the paper: for each destination,
+//! scan its incoming neighbors in the CSC and accumulate
+//! `srcData[src]` — contributions indexed by source vertex, the irregular
+//! access stream P-OPT optimizes.
+
+use crate::common::{Emit, IrregSpec, TracePlan, EDGE_INSTRS, VERTEX_INSTRS};
+use popt_graph::{Graph, VertexId};
+use popt_trace::{AddressSpace, RegionClass, TraceSink};
+
+/// Damping factor used by `run`.
+pub const DAMPING: f64 = 0.85;
+
+/// Access-site IDs (PC surrogates) for the pull loop's loads/stores.
+pub mod sites {
+    /// Offsets-array read.
+    pub const OA: u32 = 10;
+    /// Neighbor-array read.
+    pub const NA: u32 = 11;
+    /// `srcData[src]` irregular read (Algorithm 1 line 3).
+    pub const SRC: u32 = 12;
+    /// `dstData[dst]` streaming write.
+    pub const DST: u32 = 13;
+}
+
+/// Runs `iterations` of PageRank, returning the rank vector.
+///
+/// # Example
+///
+/// ```
+/// let g = popt_graph::generators::uniform_random(50, 400, 3);
+/// let ranks = popt_kernels::pagerank::run(&g, 20);
+/// assert!((ranks.iter().sum::<f64>() - 1.0).abs() < 0.2); // dangling mass aside
+/// ```
+pub fn run(g: &Graph, iterations: usize) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut ranks = vec![1.0 / n as f64; n];
+    let mut contrib = vec![0.0f64; n];
+    for _ in 0..iterations {
+        for v in 0..n {
+            let deg = g.out_degree(v as VertexId);
+            contrib[v] = if deg > 0 { ranks[v] / deg as f64 } else { 0.0 };
+        }
+        for dst in 0..n as VertexId {
+            let sum: f64 = g
+                .in_neighbors(dst)
+                .iter()
+                .map(|&s| contrib[s as usize])
+                .sum();
+            ranks[dst as usize] = (1.0 - DAMPING) / n as f64 + DAMPING * sum;
+        }
+    }
+    ranks
+}
+
+/// Lays out the pull iteration's arrays: streaming OA (8 B), NA (4 B) and
+/// dstData (4 B); irregular srcData (4 B) — the paper's PR row in Table II.
+pub fn plan(g: &Graph) -> TracePlan {
+    let n = g.num_vertices() as u64;
+    let mut space = AddressSpace::new();
+    let _oa = space.alloc("oa", n + 1, 8, RegionClass::Streaming);
+    let _na = space.alloc("na", g.num_edges() as u64, 4, RegionClass::Streaming);
+    let src = space.alloc("srcData", n, 4, RegionClass::Irregular);
+    let _dst = space.alloc("dstData", n, 4, RegionClass::Streaming);
+    TracePlan {
+        space,
+        irregs: vec![IrregSpec {
+            region: src,
+            vertices_per_elem: 1,
+        }],
+    }
+}
+
+/// Emits the access stream of one pull iteration over all destinations, in
+/// ascending vertex order.
+pub fn trace<S: TraceSink>(g: &Graph, plan: &TracePlan, sink: S) {
+    trace_ordered(g, plan, sink, None);
+}
+
+/// Like [`trace`], but visiting destinations in `order` if given — the hook
+/// the HATS-BDFS comparison uses (Section VII-C1's "Vertex Ordered"
+/// baseline passes `None`).
+pub fn trace_ordered<S: TraceSink>(
+    g: &Graph,
+    plan: &TracePlan,
+    sink: S,
+    order: Option<&[VertexId]>,
+) {
+    let regions = plan.region_ids();
+    let (oa, na, src_data, dst_data) = (regions[0], regions[1], regions[2], regions[3]);
+    let mut emit = Emit {
+        space: &plan.space,
+        sink,
+    };
+    emit.iteration_begin();
+    let n = g.num_vertices() as VertexId;
+    let mut edge_cursor;
+    for i in 0..n {
+        let dst = order.map_or(i, |o| o[i as usize]);
+        emit.current_vertex(dst);
+        emit.read(oa, dst as u64, sites::OA);
+        emit.instructions(VERTEX_INSTRS);
+        edge_cursor = g.in_csr().offsets()[dst as usize];
+        for &src in g.in_neighbors(dst) {
+            emit.read(na, edge_cursor, sites::NA);
+            emit.read(src_data, src as u64, sites::SRC);
+            emit.instructions(EDGE_INSTRS);
+            edge_cursor += 1;
+        }
+        emit.write(dst_data, dst as u64, sites::DST);
+    }
+}
+
+/// Emits the access stream of a *multi-threaded* pull iteration (paper
+/// Section V-F): destinations are processed in serial blocks of
+/// `block_size` vertices (the paper executes epochs serially); within a
+/// block, `threads` workers take contiguous sub-ranges and their accesses
+/// interleave round-robin at vertex granularity, each tagged with its core
+/// via [`popt_trace::TraceEvent::Core`].
+///
+/// `CurrentVertex` updates come only from thread 0 — the paper's
+/// "software-designated main thread" policy for the shared `currVertex`
+/// register.
+///
+/// # Panics
+///
+/// Panics if `threads` or `block_size` is zero.
+pub fn trace_parallel<S: TraceSink>(
+    g: &Graph,
+    plan: &TracePlan,
+    mut sink: S,
+    threads: usize,
+    block_size: usize,
+) {
+    assert!(
+        threads > 0 && block_size > 0,
+        "threads and block size must be positive"
+    );
+    let regions = plan.region_ids();
+    let (oa, na, src_data, dst_data) = (regions[0], regions[1], regions[2], regions[3]);
+    let n = g.num_vertices() as VertexId;
+    sink.event(popt_trace::TraceEvent::IterationBegin);
+    let mut block_start = 0u32;
+    while block_start < n {
+        let block_end = (block_start + block_size as u32).min(n);
+        let span = (block_end - block_start) as usize;
+        let per_thread = span.div_ceil(threads);
+        // Each thread's cursor within its contiguous sub-range.
+        let mut cursors: Vec<u32> = (0..threads)
+            .map(|t| block_start + (t * per_thread).min(span) as u32)
+            .collect();
+        let limits: Vec<u32> = (0..threads)
+            .map(|t| block_start + (((t + 1) * per_thread).min(span)) as u32)
+            .collect();
+        let mut remaining = span;
+        while remaining > 0 {
+            for t in 0..threads {
+                if cursors[t] >= limits[t] {
+                    continue;
+                }
+                let dst = cursors[t];
+                cursors[t] += 1;
+                remaining -= 1;
+                let mut emit = Emit {
+                    space: &plan.space,
+                    sink: &mut sink,
+                };
+                emit.sink.event(popt_trace::TraceEvent::Core(t as u32));
+                if t == 0 {
+                    emit.current_vertex(dst);
+                }
+                emit.read(oa, dst as u64, sites::OA);
+                emit.instructions(VERTEX_INSTRS);
+                let mut cursor = g.in_csr().offsets()[dst as usize];
+                for &src in g.in_neighbors(dst) {
+                    emit.read(na, cursor, sites::NA);
+                    emit.read(src_data, src as u64, sites::SRC);
+                    emit.instructions(EDGE_INSTRS);
+                    cursor += 1;
+                }
+                emit.write(dst_data, dst as u64, sites::DST);
+            }
+        }
+        block_start = block_end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popt_graph::generators;
+    use popt_trace::{CountingSink, RecordingSink, TraceEvent};
+
+    #[test]
+    fn ranks_form_a_distribution_without_dangling_vertices() {
+        // A symmetric mesh has no dangling vertices: ranks sum to 1.
+        let g = generators::mesh(12, 0, 0);
+        let ranks = run(&g, 30);
+        let total: f64 = ranks.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "rank mass {total}");
+    }
+
+    #[test]
+    fn hubs_rank_higher() {
+        let g = generators::preferential_attachment(500, 3, 1);
+        let ranks = run(&g, 30);
+        let hub = (0..500).max_by_key(|&v| g.in_degree(v as u32)).unwrap();
+        let leaf = (0..500).min_by_key(|&v| g.in_degree(v as u32)).unwrap();
+        assert!(ranks[hub] > ranks[leaf]);
+    }
+
+    #[test]
+    fn trace_access_counts_match_graph_shape() {
+        let g = generators::uniform_random(64, 512, 2);
+        let p = plan(&g);
+        let mut sink = CountingSink::new();
+        trace(&g, &p, &mut sink);
+        let v = g.num_vertices() as u64;
+        let e = g.num_edges() as u64;
+        // Per vertex: OA read + dstData write; per edge: NA read + srcData read.
+        assert_eq!(sink.reads, v + 2 * e);
+        assert_eq!(sink.writes, v);
+        assert_eq!(sink.vertex_updates, v);
+        assert_eq!(sink.iterations, 1);
+    }
+
+    #[test]
+    fn srcdata_reads_follow_the_csc_order() {
+        let g = popt_graph::Graph::from_edges(3, &[(2, 0), (1, 0), (0, 1)]).unwrap();
+        let p = plan(&g);
+        let mut rec = RecordingSink::new();
+        trace(&g, &p, &mut rec);
+        let src_region = &p.space.regions()[2];
+        let src_reads: Vec<u64> = rec
+            .events()
+            .iter()
+            .filter_map(|e| e.as_access())
+            .filter(|a| src_region.contains(a.addr))
+            .map(|a| (a.addr - src_region.base()) / 4)
+            .collect();
+        // dst 0 pulls from {1, 2}; dst 1 pulls from {0}.
+        assert_eq!(src_reads, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn parallel_trace_covers_every_vertex_and_edge() {
+        let g = generators::uniform_random(100, 600, 4);
+        let p = plan(&g);
+        let mut serial = CountingSink::new();
+        trace(&g, &p, &mut serial);
+        for threads in [1usize, 4, 8] {
+            let mut par = CountingSink::new();
+            trace_parallel(&g, &p, &mut par, threads, 16);
+            assert_eq!(par.reads, serial.reads, "threads {threads}");
+            assert_eq!(par.writes, serial.writes, "threads {threads}");
+            if threads > 1 {
+                assert!(par.core_switches > 0);
+                // Only the main thread updates currVertex.
+                assert!(par.vertex_updates < serial.vertex_updates);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_threads_stay_within_their_block() {
+        // All Core(t) accesses between two block boundaries must target
+        // destinations within that block.
+        let g = generators::uniform_random(64, 300, 9);
+        let p = plan(&g);
+        let mut rec = RecordingSink::new();
+        trace_parallel(&g, &p, &mut rec, 4, 16);
+        let oa_region = &p.space.regions()[0];
+        let mut current_block = 0u64;
+        for ev in rec.events() {
+            if let Some(a) = ev.as_access() {
+                if oa_region.contains(a.addr) {
+                    let dst = (a.addr - oa_region.base()) / 8;
+                    let block = dst / 16;
+                    assert!(
+                        block == current_block || block == current_block + 1,
+                        "dst {dst} escaped serial block {current_block}"
+                    );
+                    current_block = block;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn custom_order_changes_current_vertex_sequence() {
+        let g = generators::uniform_random(8, 20, 3);
+        let p = plan(&g);
+        let order: Vec<u32> = (0..8).rev().collect();
+        let mut rec = RecordingSink::new();
+        trace_ordered(&g, &p, &mut rec, Some(&order));
+        let seen: Vec<u32> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::CurrentVertex(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seen, order);
+    }
+}

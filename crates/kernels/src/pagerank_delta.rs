@@ -1,0 +1,241 @@
+//! PageRank-delta — frontier-based PageRank (Ligra), the paper's
+//! pull-mostly workload with 8 B irregular elements plus a frontier bit
+//! (Table II).
+//!
+//! Only vertices whose rank is still changing stay in the frontier; a pull
+//! iteration reads, per incoming edge, the frontier bit-vector word *and*
+//! (for active sources) the source's delta — two distinct irregular
+//! streams, exercising P-OPT's multi-stream support (Section V-F).
+
+use crate::common::{Emit, IrregSpec, TracePlan, EDGE_INSTRS, VERTEX_INSTRS};
+use popt_graph::{Frontier, Graph, VertexId};
+use popt_trace::{AddressSpace, RegionClass, TraceSink};
+
+/// Damping factor.
+pub const DAMPING: f64 = 0.85;
+/// A vertex stays active while its delta exceeds `EPSILON / numVertices`.
+pub const EPSILON: f64 = 1e-3;
+
+/// Access-site IDs.
+pub mod sites {
+    /// Offsets-array read.
+    pub const OA: u32 = 30;
+    /// Neighbor-array read.
+    pub const NA: u32 = 31;
+    /// Frontier bit-vector word read (irregular).
+    pub const FRONTIER: u32 = 32;
+    /// `delta[src]` irregular read.
+    pub const DELTA: u32 = 33;
+    /// Rank update write (streaming).
+    pub const RANK: u32 = 34;
+}
+
+/// Evolving state of a PageRank-delta execution; exposed so traces can
+/// sample a mid-execution iteration (the paper's iteration sampling,
+/// Section VI).
+#[derive(Debug, Clone)]
+pub struct State {
+    /// Current rank estimates.
+    pub ranks: Vec<f64>,
+    /// Per-vertex deltas from the last iteration.
+    pub deltas: Vec<f64>,
+    /// Vertices whose delta is still significant.
+    pub frontier: Frontier,
+    /// Iterations applied so far.
+    pub iteration: usize,
+}
+
+impl State {
+    /// Initial state. With `r_0 = Δ_0 = (1-d)/N` the recurrence
+    /// `Δ_{t+1}(v) = d · Σ Δ_t(u)/deg(u)` makes `Σ_t Δ_t` exactly the
+    /// PageRank fixed point, so deltas are pure correction terms and the
+    /// frontier tracks not-yet-converged vertices.
+    pub fn new(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let base = if n > 0 {
+            (1.0 - DAMPING) / n as f64
+        } else {
+            0.0
+        };
+        State {
+            ranks: vec![base; n],
+            deltas: vec![base; n],
+            frontier: Frontier::full(n),
+            iteration: 0,
+        }
+    }
+
+    /// Applies one pull iteration.
+    pub fn step(&mut self, g: &Graph) {
+        let n = g.num_vertices();
+        let threshold = EPSILON / n.max(1) as f64;
+        let contrib: Vec<f64> = (0..n)
+            .map(|v| {
+                let deg = g.out_degree(v as VertexId);
+                if deg > 0 && self.frontier.contains(v as VertexId) {
+                    self.deltas[v] / deg as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut next = Frontier::new(n);
+        for dst in 0..n as VertexId {
+            let sum: f64 = g
+                .in_neighbors(dst)
+                .iter()
+                .filter(|&&s| self.frontier.contains(s))
+                .map(|&s| contrib[s as usize])
+                .sum();
+            let delta = DAMPING * sum;
+            self.ranks[dst as usize] += delta;
+            self.deltas[dst as usize] = delta;
+            if delta > threshold {
+                next.insert(dst);
+            }
+        }
+        self.frontier = next;
+        self.iteration += 1;
+    }
+}
+
+/// Runs until the frontier empties (or `max_iterations`), returning final
+/// ranks.
+pub fn run(g: &Graph, max_iterations: usize) -> Vec<f64> {
+    let mut state = State::new(g);
+    for _ in 0..max_iterations {
+        if state.frontier.is_empty() {
+            break;
+        }
+        state.step(g);
+    }
+    state.ranks
+}
+
+/// Lays out the arrays: streaming OA/NA/rank; irregular deltas (8 B) and
+/// frontier words (8 B covering 64 vertices each).
+pub fn plan(g: &Graph) -> TracePlan {
+    let n = g.num_vertices() as u64;
+    let mut space = AddressSpace::new();
+    let _oa = space.alloc("oa", n + 1, 8, RegionClass::Streaming);
+    let _na = space.alloc("na", g.num_edges() as u64, 4, RegionClass::Streaming);
+    let delta = space.alloc("delta", n, 8, RegionClass::Irregular);
+    let frontier = space.alloc("frontier", n.div_ceil(64), 8, RegionClass::Irregular);
+    let _rank = space.alloc("rank", n, 8, RegionClass::Streaming);
+    TracePlan {
+        space,
+        irregs: vec![
+            IrregSpec {
+                region: delta,
+                vertices_per_elem: 1,
+            },
+            IrregSpec {
+                region: frontier,
+                vertices_per_elem: 64,
+            },
+        ],
+    }
+}
+
+/// How many warm-up iterations [`trace`] applies before sampling.
+pub const SAMPLED_ITERATION: usize = 2;
+
+/// Emits the access stream of the [`SAMPLED_ITERATION`]-th pull iteration
+/// (a realistic, non-trivial frontier).
+pub fn trace<S: TraceSink>(g: &Graph, plan: &TracePlan, sink: S) {
+    let mut state = State::new(g);
+    for _ in 0..SAMPLED_ITERATION {
+        if state.frontier.is_empty() {
+            break;
+        }
+        state.step(g);
+    }
+    trace_iteration(g, plan, &state, sink);
+}
+
+/// Emits the access stream of one pull iteration from `state`.
+pub fn trace_iteration<S: TraceSink>(g: &Graph, plan: &TracePlan, state: &State, sink: S) {
+    let regions = plan.region_ids();
+    let (oa, na, delta, frontier, rank) =
+        (regions[0], regions[1], regions[2], regions[3], regions[4]);
+    let mut emit = Emit {
+        space: &plan.space,
+        sink,
+    };
+    emit.iteration_begin();
+    let n = g.num_vertices() as VertexId;
+    for dst in 0..n {
+        emit.current_vertex(dst);
+        emit.read(oa, dst as u64, sites::OA);
+        emit.instructions(VERTEX_INSTRS);
+        let mut cursor = g.in_csr().offsets()[dst as usize];
+        for &src in g.in_neighbors(dst) {
+            emit.read(na, cursor, sites::NA);
+            emit.read(frontier, Frontier::word_index(src) as u64, sites::FRONTIER);
+            if state.frontier.contains(src) {
+                emit.read(delta, src as u64, sites::DELTA);
+            }
+            emit.instructions(EDGE_INSTRS);
+            cursor += 1;
+        }
+        emit.write(rank, dst as u64, sites::RANK);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagerank;
+    use popt_graph::generators;
+    use popt_trace::CountingSink;
+
+    #[test]
+    fn converges_to_plain_pagerank() {
+        let g = generators::mesh(10, 1, 4);
+        let exact = pagerank::run(&g, 60);
+        let delta = run(&g, 60);
+        for v in 0..g.num_vertices() {
+            assert!(
+                (exact[v] - delta[v]).abs() < 1e-3,
+                "vertex {v}: {} vs {}",
+                exact[v],
+                delta[v]
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_shrinks_over_iterations() {
+        let g = generators::uniform_random(500, 3000, 8);
+        let mut state = State::new(&g);
+        let initial = state.frontier.len();
+        for _ in 0..40 {
+            state.step(&g);
+        }
+        assert!(
+            state.frontier.len() < initial,
+            "frontier still {}",
+            state.frontier.len()
+        );
+    }
+
+    #[test]
+    fn trace_reads_frontier_per_edge_and_delta_for_active_sources() {
+        let g = generators::uniform_random(128, 700, 5);
+        let p = plan(&g);
+        let mut sink = CountingSink::new();
+        trace(&g, &p, &mut sink);
+        let v = g.num_vertices() as u64;
+        let e = g.num_edges() as u64;
+        // OA per vertex + (NA + frontier) per edge + delta per active edge.
+        assert!(sink.reads >= v + 2 * e);
+        assert!(sink.reads <= v + 3 * e);
+        assert_eq!(sink.writes, v);
+    }
+
+    #[test]
+    fn empty_graph_runs() {
+        let g = popt_graph::Graph::from_edges(0, &[]).unwrap();
+        assert!(run(&g, 5).is_empty());
+    }
+}

@@ -1,0 +1,299 @@
+//! Radii estimation via concurrent BFS (Ligra) — pull-mostly, 8 B
+//! irregular bitmasks plus a frontier bit (Table II).
+//!
+//! 64 BFS traversals run simultaneously, one per bit of a `u64` visitor
+//! mask; a vertex's eccentricity estimate is the last iteration on which
+//! its mask grew, and the graph radius estimate is the maximum. The pull
+//! iteration ORs `masks[src]` over incoming active neighbors — irregular
+//! 8 B reads.
+//!
+//! Direction switching (Beamer et al.): iterations with a dense frontier
+//! run pull, sparse ones push. On the high-diameter HBUBL mesh the
+//! frontier never densifies, which is why the paper excludes Radii×HBUBL
+//! (Section VI) — [`has_pull_iteration`] lets the harness apply the same
+//! rule mechanically.
+
+use crate::common::{Emit, IrregSpec, TracePlan, EDGE_INSTRS, VERTEX_INSTRS};
+use popt_graph::{Frontier, Graph, VertexId};
+use popt_trace::{AddressSpace, RegionClass, TraceSink};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of concurrent BFS traversals (bits of the visitor mask).
+pub const NUM_SAMPLES: usize = 64;
+
+/// A pull iteration is used when frontier density is at least this
+/// (direction switching threshold).
+pub const PULL_THRESHOLD: f64 = 0.05;
+
+/// Access-site IDs.
+pub mod sites {
+    /// Offsets-array read.
+    pub const OA: u32 = 40;
+    /// Neighbor-array read.
+    pub const NA: u32 = 41;
+    /// Frontier word read (irregular).
+    pub const FRONTIER: u32 = 42;
+    /// `masks[src]` irregular read.
+    pub const MASK: u32 = 43;
+    /// `masks[dst]` streaming read-modify-write.
+    pub const MASK_DST: u32 = 44;
+}
+
+/// Result of a Radii run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadiiResult {
+    /// Per-vertex eccentricity estimates (0 for unreached vertices).
+    pub radii: Vec<u32>,
+    /// Estimated graph radius (max estimate).
+    pub radius: u32,
+    /// Frontier density per iteration — used for direction switching.
+    pub densities: Vec<f64>,
+}
+
+/// Evolving state, exposed for iteration sampling.
+#[derive(Debug, Clone)]
+pub struct State {
+    /// Visitor bitmasks.
+    pub masks: Vec<u64>,
+    /// Vertices whose mask changed last iteration.
+    pub frontier: Frontier,
+    /// Per-vertex eccentricity estimates.
+    pub radii: Vec<u32>,
+    /// Iterations applied.
+    pub iteration: u32,
+}
+
+impl State {
+    /// Seeds [`NUM_SAMPLES`] random source vertices.
+    pub fn new(g: &Graph, seed: u64) -> Self {
+        let n = g.num_vertices();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut masks = vec![0u64; n];
+        let mut frontier = Frontier::new(n);
+        for bit in 0..NUM_SAMPLES.min(n) {
+            let v = rng.gen_range(0..n as u64) as VertexId;
+            masks[v as usize] |= 1u64 << bit;
+            frontier.insert(v);
+        }
+        State {
+            masks,
+            frontier,
+            radii: vec![0; n],
+            iteration: 0,
+        }
+    }
+
+    /// One pull iteration: each vertex ORs in the masks of its active
+    /// incoming neighbors.
+    pub fn step(&mut self, g: &Graph) {
+        let n = g.num_vertices();
+        self.iteration += 1;
+        let mut next = Frontier::new(n);
+        let prev_masks = self.masks.clone();
+        for dst in 0..n as VertexId {
+            let mut m = prev_masks[dst as usize];
+            for &src in g.in_neighbors(dst) {
+                if self.frontier.contains(src) {
+                    m |= prev_masks[src as usize];
+                }
+            }
+            if m != prev_masks[dst as usize] {
+                self.masks[dst as usize] = m;
+                self.radii[dst as usize] = self.iteration;
+                next.insert(dst);
+            }
+        }
+        self.frontier = next;
+    }
+}
+
+/// Runs the concurrent BFS to completion (or `max_iterations`).
+pub fn run(g: &Graph, seed: u64, max_iterations: usize) -> RadiiResult {
+    let mut state = State::new(g, seed);
+    let mut densities = Vec::new();
+    for _ in 0..max_iterations {
+        if state.frontier.is_empty() {
+            break;
+        }
+        densities.push(state.frontier.density());
+        state.step(g);
+    }
+    let radius = state.radii.iter().copied().max().unwrap_or(0);
+    RadiiResult {
+        radii: state.radii,
+        radius,
+        densities,
+    }
+}
+
+/// Iterations direction switching waits for the frontier to densify before
+/// the run is declared push-bound. On low-diameter graphs the concurrent
+/// BFS densifies within a handful of levels; a high-diameter graph grows
+/// its frontiers only linearly and stays below [`PULL_THRESHOLD`]
+/// throughout this window.
+pub const PULL_SEARCH_LIMIT: usize = 16;
+
+/// Finds the first pull-worthy iteration: steps the concurrent BFS until
+/// the frontier density reaches [`PULL_THRESHOLD`] (direction switching
+/// would go bottom-up/pull there), giving up after
+/// [`PULL_SEARCH_LIMIT`] iterations or when the frontier dies.
+///
+/// `None` is the mechanical form of the paper's exclusion rule: "its high
+/// diameter causes Radii to never switch to a pull iteration" (Section VI,
+/// on Radii×HBUBL).
+pub fn first_pull_state(g: &Graph, seed: u64) -> Option<State> {
+    let mut state = State::new(g, seed);
+    for _ in 0..PULL_SEARCH_LIMIT {
+        if state.frontier.is_empty() {
+            return None;
+        }
+        if state.frontier.density() >= PULL_THRESHOLD {
+            return Some(state);
+        }
+        state.step(g);
+    }
+    None
+}
+
+/// Whether a pull iteration exists to sample (the Figure 10 inclusion
+/// rule).
+pub fn has_pull_iteration(g: &Graph, seed: u64) -> bool {
+    first_pull_state(g, seed).is_some()
+}
+
+/// Lays out the arrays: streaming OA/NA, irregular masks (8 B) and frontier
+/// words.
+pub fn plan(g: &Graph) -> TracePlan {
+    let n = g.num_vertices() as u64;
+    let mut space = AddressSpace::new();
+    let _oa = space.alloc("oa", n + 1, 8, RegionClass::Streaming);
+    let _na = space.alloc("na", g.num_edges() as u64, 4, RegionClass::Streaming);
+    let masks = space.alloc("masks", n, 8, RegionClass::Irregular);
+    let frontier = space.alloc("frontier", n.div_ceil(64), 8, RegionClass::Irregular);
+    TracePlan {
+        space,
+        irregs: vec![
+            IrregSpec {
+                region: masks,
+                vertices_per_elem: 1,
+            },
+            IrregSpec {
+                region: frontier,
+                vertices_per_elem: 64,
+            },
+        ],
+    }
+}
+
+/// RNG seed for the sampled-trace sources.
+pub const TRACE_SEED: u64 = 0x5eed_0000_0000_0001;
+
+/// Emits the access stream of the first *pull* iteration (the iteration
+/// direction switching would run bottom-up — the paper samples pull
+/// iterations, Section VI). Falls back to the initial state when no pull
+/// iteration exists; callers should gate on [`has_pull_iteration`] first.
+pub fn trace<S: TraceSink>(g: &Graph, plan: &TracePlan, sink: S) {
+    let state = first_pull_state(g, TRACE_SEED).unwrap_or_else(|| State::new(g, TRACE_SEED));
+    trace_iteration(g, plan, &state, sink);
+}
+
+/// Emits one pull iteration's access stream from `state`.
+pub fn trace_iteration<S: TraceSink>(g: &Graph, plan: &TracePlan, state: &State, sink: S) {
+    let regions = plan.region_ids();
+    let (oa, na, masks, frontier) = (regions[0], regions[1], regions[2], regions[3]);
+    let mut emit = Emit {
+        space: &plan.space,
+        sink,
+    };
+    emit.iteration_begin();
+    let n = g.num_vertices() as VertexId;
+    for dst in 0..n {
+        emit.current_vertex(dst);
+        emit.read(oa, dst as u64, sites::OA);
+        emit.read(masks, dst as u64, sites::MASK_DST);
+        emit.instructions(VERTEX_INSTRS);
+        let mut cursor = g.in_csr().offsets()[dst as usize];
+        let mut changed = false;
+        for &src in g.in_neighbors(dst) {
+            emit.read(na, cursor, sites::NA);
+            emit.read(frontier, Frontier::word_index(src) as u64, sites::FRONTIER);
+            if state.frontier.contains(src) {
+                emit.read(masks, src as u64, sites::MASK);
+                changed |= state.masks[src as usize] & !state.masks[dst as usize] != 0;
+            }
+            emit.instructions(EDGE_INSTRS);
+            cursor += 1;
+        }
+        if changed {
+            emit.write(masks, dst as u64, sites::MASK_DST);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popt_graph::{generators, stats};
+    use popt_trace::CountingSink;
+
+    #[test]
+    fn radius_estimate_tracks_true_diameter_ordering() {
+        let mesh = generators::mesh(16, 0, 0);
+        let dense = generators::uniform_random(256, 4096, 3);
+        let r_mesh = run(&mesh, 7, 256).radius;
+        let r_dense = run(&dense, 7, 256).radius;
+        assert!(
+            r_mesh > r_dense,
+            "high-diameter mesh estimate {r_mesh} should exceed dense graph {r_dense}"
+        );
+        let approx = stats::approximate_diameter(&mesh, 4, 9) as u32;
+        assert!(
+            r_mesh <= approx + 2,
+            "estimate {r_mesh} should not exceed diameter {approx} by much"
+        );
+    }
+
+    #[test]
+    fn hbubl_like_meshes_fail_the_pull_sampling_rule() {
+        // A torus large relative to the 64 sources never densifies within
+        // the search window; the uniform graph does within a few BFS
+        // levels.
+        let mesh = generators::mesh(408, 0, 0);
+        let urand = generators::uniform_random(16_384, 65_536, 3);
+        assert!(!has_pull_iteration(&mesh, 1), "mesh should be push-bound");
+        assert!(has_pull_iteration(&urand, 1), "urand should densify");
+        let state = first_pull_state(&urand, 1).expect("pull state");
+        assert!(state.frontier.density() >= PULL_THRESHOLD);
+    }
+
+    #[test]
+    fn trace_shape_is_pull_with_two_irregular_streams() {
+        let g = generators::uniform_random(128, 512, 11);
+        let p = plan(&g);
+        assert_eq!(p.irregs.len(), 2);
+        let mut sink = CountingSink::new();
+        trace(&g, &p, &mut sink);
+        let v = g.num_vertices() as u64;
+        let e = g.num_edges() as u64;
+        // OA + masks[dst] per vertex, NA + frontier per edge, masks[src] for
+        // active edges only.
+        assert!(sink.reads >= 2 * v + 2 * e);
+        assert!(sink.reads <= 2 * v + 3 * e);
+    }
+
+    #[test]
+    fn masks_only_grow() {
+        let g = generators::uniform_random(200, 1000, 5);
+        let mut state = State::new(&g, 3);
+        let before = state.masks.clone();
+        state.step(&g);
+        for v in 0..200 {
+            assert_eq!(
+                state.masks[v] & before[v],
+                before[v],
+                "mask lost bits at {v}"
+            );
+        }
+    }
+}

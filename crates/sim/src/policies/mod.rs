@@ -1,0 +1,157 @@
+//! The replacement-policy zoo the paper evaluates against (Section II-B).
+
+mod belady;
+mod grasp;
+mod hawkeye;
+mod leeway;
+mod lru;
+mod plru;
+mod random;
+mod rrip;
+mod sdbp;
+mod ship;
+
+pub use belady::Belady;
+pub use grasp::{Grasp, GraspRegions};
+pub use hawkeye::Hawkeye;
+pub use leeway::Leeway;
+pub use lru::Lru;
+pub use plru::BitPlru;
+pub use random::RandomEvict;
+pub use rrip::{Brrip, Drrip, Srrip};
+pub use sdbp::Sdbp;
+pub use ship::{Ship, ShipSignature};
+
+use crate::ReplacementPolicy;
+
+/// The graph-agnostic policies constructible from geometry alone — the
+/// baseline set of Figures 2 and 4.
+///
+/// Policies needing extra inputs (Belady's trace oracle, GRASP's region
+/// boundaries, and the T-OPT/P-OPT policies in `popt-core`) have their own
+/// constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Least recently used.
+    Lru,
+    /// Bit-PLRU (tree-free MRU-bit approximation), the paper's L1/L2 policy.
+    BitPlru,
+    /// Pseudo-random eviction.
+    Random,
+    /// Static RRIP (2-bit, hit-priority).
+    Srrip,
+    /// Bimodal RRIP.
+    Brrip,
+    /// Dynamic RRIP with set dueling — the paper's main baseline.
+    Drrip,
+    /// SHiP with PC (access-site) signatures.
+    ShipPc,
+    /// SHiP with memory (per-line, idealized-storage) signatures.
+    ShipMem,
+    /// Hawkeye (sampled OPTgen + PC predictor).
+    Hawkeye,
+    /// Sampling dead-block prediction (SDBP).
+    Sdbp,
+    /// Leeway dead-block prediction with live distances.
+    Leeway,
+}
+
+impl PolicyKind {
+    /// All kinds, in figure order.
+    pub const ALL: [PolicyKind; 11] = [
+        PolicyKind::Lru,
+        PolicyKind::BitPlru,
+        PolicyKind::Random,
+        PolicyKind::Srrip,
+        PolicyKind::Brrip,
+        PolicyKind::Drrip,
+        PolicyKind::ShipPc,
+        PolicyKind::ShipMem,
+        PolicyKind::Hawkeye,
+        PolicyKind::Sdbp,
+        PolicyKind::Leeway,
+    ];
+
+    /// Display label used in figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::BitPlru => "Bit-PLRU",
+            PolicyKind::Random => "Random",
+            PolicyKind::Srrip => "SRRIP",
+            PolicyKind::Brrip => "BRRIP",
+            PolicyKind::Drrip => "DRRIP",
+            PolicyKind::ShipPc => "SHiP-PC",
+            PolicyKind::ShipMem => "SHiP-Mem",
+            PolicyKind::Hawkeye => "Hawkeye",
+            PolicyKind::Sdbp => "SDBP",
+            PolicyKind::Leeway => "Leeway",
+        }
+    }
+
+    /// Instantiates the policy for a cache (bank) of `sets × ways`.
+    pub fn build(&self, sets: usize, ways: usize) -> Box<dyn ReplacementPolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(Lru::new(sets, ways)),
+            PolicyKind::BitPlru => Box::new(BitPlru::new(sets, ways)),
+            PolicyKind::Random => Box::new(RandomEvict::new(0x5eed)),
+            PolicyKind::Srrip => Box::new(Srrip::new(sets, ways)),
+            PolicyKind::Brrip => Box::new(Brrip::new(sets, ways)),
+            PolicyKind::Drrip => Box::new(Drrip::new(sets, ways)),
+            PolicyKind::ShipPc => Box::new(Ship::new(sets, ways, ShipSignature::Pc)),
+            PolicyKind::ShipMem => Box::new(Ship::new(sets, ways, ShipSignature::Mem)),
+            PolicyKind::Hawkeye => Box::new(Hawkeye::new(sets, ways)),
+            PolicyKind::Sdbp => Box::new(Sdbp::new(sets, ways)),
+            PolicyKind::Leeway => Box::new(Leeway::new(sets, ways)),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::{AccessMeta, CacheConfig, ReplacementPolicy, SetAssocCache};
+    use popt_trace::{AccessKind, RegionClass, SiteId};
+
+    /// Builds a 1-set cache of `ways` ways around `policy`.
+    pub fn one_set_cache(ways: usize, policy: Box<dyn ReplacementPolicy>) -> SetAssocCache {
+        SetAssocCache::new(CacheConfig::new(64 * ways, ways), policy)
+    }
+
+    /// Read access to `line` from `site`.
+    pub fn read(line: u64, site: u32) -> AccessMeta {
+        AccessMeta {
+            line,
+            site: SiteId(site),
+            kind: AccessKind::Read,
+            class: RegionClass::Streaming,
+        }
+    }
+
+    /// Runs `trace` through `cache`, returning the number of hits.
+    pub fn run_lines(cache: &mut SetAssocCache, trace: &[u64]) -> u64 {
+        trace
+            .iter()
+            .filter(|&&l| cache.access(&read(l, 0)).is_hit())
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds_and_names_itself() {
+        for kind in PolicyKind::ALL {
+            let p = kind.build(16, 4);
+            assert!(!p.name().is_empty());
+            assert_eq!(kind.to_string(), kind.label());
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Fuzz every replacement policy against adversarial access streams:
+//! whatever the trace, a policy must return in-range victims, keep the
+//! cache's accounting consistent, and never panic. These invariants are
+//! enforced structurally by `SetAssocCache` (the victim range assert), so
+//! survival of the run is the test.
+
+use popt_sim::{AccessMeta, CacheConfig, ControlEvent, PolicyKind, SetAssocCache};
+use popt_trace::{AccessKind, RegionClass, SiteId};
+use proptest::prelude::*;
+
+fn meta(line: u64, site: u32, write: bool, irregular: bool) -> AccessMeta {
+    AccessMeta {
+        line,
+        site: SiteId(site),
+        kind: if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
+        class: if irregular {
+            RegionClass::Irregular
+        } else {
+            RegionClass::Streaming
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_policy_survives_arbitrary_traces(
+        trace in prop::collection::vec((0u64..256, 0u32..8, any::<bool>(), any::<bool>()), 1..500),
+        ways in 2usize..9,
+        sets_pow in 0u32..4,
+        reserved in 0usize..3,
+    ) {
+        let sets = 1usize << sets_pow;
+        let cfg = CacheConfig::new(64 * ways * sets, ways);
+        for kind in PolicyKind::ALL {
+            let reserved = reserved.min(ways - 1);
+            let mut cache = SetAssocCache::with_reserved_ways(
+                cfg,
+                kind.build(sets, ways - reserved),
+                reserved,
+            );
+            let mut hits = 0u64;
+            for &(line, site, write, irregular) in &trace {
+                if cache.access(&meta(line, site, write, irregular)).is_hit() {
+                    hits += 1;
+                }
+            }
+            let stats = cache.stats();
+            prop_assert_eq!(stats.hits, hits, "{} hit accounting", kind.label());
+            prop_assert_eq!(
+                stats.hits + stats.misses,
+                trace.len() as u64,
+                "{} access accounting", kind.label()
+            );
+            prop_assert!(
+                stats.evictions <= stats.misses,
+                "{} evictions exceed misses", kind.label()
+            );
+            prop_assert!(
+                stats.writebacks <= stats.evictions,
+                "{} writebacks exceed evictions", kind.label()
+            );
+            prop_assert!(
+                stats.irregular_hits <= stats.hits
+                    && stats.irregular_misses <= stats.misses,
+                "{} class accounting", kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn policies_tolerate_interleaved_control_events(
+        trace in prop::collection::vec((0u64..64, 0u32..200), 1..200),
+    ) {
+        for kind in PolicyKind::ALL {
+            let cfg = CacheConfig::new(64 * 4 * 4, 4);
+            let mut cache = SetAssocCache::new(cfg, kind.build(4, 4));
+            for &(line, v) in &trace {
+                cache.control(&ControlEvent::CurrentVertex(v));
+                if v % 13 == 0 {
+                    cache.control(&ControlEvent::EpochBoundary);
+                }
+                if v % 29 == 0 {
+                    cache.control(&ControlEvent::IterationBegin);
+                }
+                if v % 31 == 0 {
+                    cache.control(&ControlEvent::ContextSwitch);
+                }
+                cache.access(&meta(line, v % 7, false, false));
+            }
+            prop_assert_eq!(
+                cache.stats().demand_accesses(),
+                trace.len() as u64,
+                "{}", kind.label()
+            );
+        }
+    }
+
+    /// Hit rates are sane: with a working set that fits, every policy
+    /// converges to near-perfect hits; replacement only matters under
+    /// pressure.
+    #[test]
+    fn fitting_working_sets_always_converge(ways in 4usize..9) {
+        let cfg = CacheConfig::new(64 * ways, ways);
+        let lines: Vec<u64> = (0..ways as u64 - 1).collect();
+        for kind in PolicyKind::ALL {
+            let mut cache = SetAssocCache::new(cfg, kind.build(1, ways));
+            let mut last_round_hits = 0u64;
+            for round in 0..50 {
+                last_round_hits = 0;
+                for &l in &lines {
+                    if cache.access(&meta(l, 0, false, false)).is_hit() {
+                        last_round_hits += 1;
+                    }
+                }
+                if round == 0 {
+                    continue;
+                }
+            }
+            prop_assert_eq!(
+                last_round_hits,
+                lines.len() as u64,
+                "{} failed to converge on a fitting working set", kind.label()
+            );
+        }
+    }
+}

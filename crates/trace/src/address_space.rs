@@ -1,0 +1,292 @@
+use crate::LINE_SIZE;
+
+/// Classification of a data region's access pattern.
+///
+/// The distinction drives two mechanisms from the paper: the T-OPT/P-OPT
+/// policies evict streaming lines first (they have "a fixed re-reference
+/// distance of infinity", Section III-A footnote), and only irregular
+/// regions get Rereference Matrix metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionClass {
+    /// Sequentially scanned once per pass (OA, NA, dstData, …).
+    Streaming,
+    /// Randomly indexed by neighbor IDs (srcData, frontier, …) — the
+    /// paper's `irregData`.
+    Irregular,
+}
+
+/// Identifier of an allocated [`Region`], returned by
+/// [`AddressSpace::alloc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionId(usize);
+
+/// A contiguous allocation in the simulated address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    name: String,
+    base: u64,
+    len_bytes: u64,
+    elem_size: u64,
+    class: RegionClass,
+}
+
+impl Region {
+    /// Region name (for diagnostics and experiment output).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// First byte address — the paper's `irreg_base` register value.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// One past the last byte address — the paper's `irreg_bound`.
+    pub fn bound(&self) -> u64 {
+        self.base + self.len_bytes
+    }
+
+    /// Allocation length in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.len_bytes
+    }
+
+    /// Size of one element in bytes.
+    pub fn elem_size(&self) -> u64 {
+        self.elem_size
+    }
+
+    /// Access-pattern class.
+    pub fn class(&self) -> RegionClass {
+        self.class
+    }
+
+    /// Number of elements per 64 B cache line.
+    pub fn elems_per_line(&self) -> u64 {
+        LINE_SIZE / self.elem_size
+    }
+
+    /// Number of cache lines spanned — the Rereference Matrix's
+    /// `numCacheLines` dimension.
+    pub fn num_lines(&self) -> u64 {
+        self.len_bytes.div_ceil(LINE_SIZE)
+    }
+
+    /// Whether `addr` falls inside the region (the base/bound comparison the
+    /// paper's next-ref engine performs on every eviction-set way).
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.bound()
+    }
+
+    /// The region-relative cache line ID of `addr`:
+    /// `(addr - irreg_base) / 64` (Section V-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `addr` is outside the region.
+    pub fn line_id(&self, addr: u64) -> u64 {
+        debug_assert!(self.contains(addr), "address outside region {}", self.name);
+        (addr - self.base) / LINE_SIZE
+    }
+
+    /// Byte address of element `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the element is out of bounds.
+    pub fn addr_of(&self, index: u64) -> u64 {
+        debug_assert!(
+            (index + 1) * self.elem_size <= self.len_bytes,
+            "element {index} out of bounds in region {}",
+            self.name
+        );
+        self.base + index * self.elem_size
+    }
+}
+
+/// A simulated flat physical address space.
+///
+/// Regions are allocated bump-style, aligned to 4 KiB so no two regions ever
+/// share a cache line. This models the paper's assumption that `irregData`
+/// occupies a dedicated 1 GB huge page: base/bound checks are exact by
+/// construction.
+///
+/// # Example
+///
+/// ```
+/// use popt_trace::{AddressSpace, RegionClass};
+///
+/// let mut space = AddressSpace::new();
+/// let oa = space.alloc("oa", 100, 8, RegionClass::Streaming);
+/// let src = space.alloc("srcData", 100, 4, RegionClass::Irregular);
+/// assert!(space.region(src).base() > space.region(oa).base());
+/// assert_eq!(space.region(src).elems_per_line(), 16);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpace {
+    regions: Vec<Region>,
+    next_base: u64,
+}
+
+/// Alignment of region bases (4 KiB pages).
+const REGION_ALIGN: u64 = 4096;
+
+/// Regions start above zero so a null address is never a valid access.
+const SPACE_BASE: u64 = 0x1_0000;
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        AddressSpace {
+            regions: Vec::new(),
+            next_base: SPACE_BASE,
+        }
+    }
+
+    /// Allocates a region of `num_elems` elements of `elem_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem_size` is zero or does not divide the 64 B line size.
+    pub fn alloc(
+        &mut self,
+        name: &str,
+        num_elems: u64,
+        elem_size: u64,
+        class: RegionClass,
+    ) -> RegionId {
+        assert!(elem_size > 0, "element size must be positive");
+        assert_eq!(
+            LINE_SIZE % elem_size,
+            0,
+            "element size {elem_size} must divide the {LINE_SIZE} B line size"
+        );
+        let len_bytes = num_elems * elem_size;
+        let base = self.next_base;
+        self.next_base = (base + len_bytes).div_ceil(REGION_ALIGN) * REGION_ALIGN + REGION_ALIGN;
+        let id = RegionId(self.regions.len());
+        self.regions.push(Region {
+            name: name.to_string(),
+            base,
+            len_bytes,
+            elem_size,
+            class,
+        });
+        id
+    }
+
+    /// Looks up a region by ID.
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id.0]
+    }
+
+    /// The ID of the `index`-th allocated region (allocation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `index + 1` regions exist.
+    pub fn id(&self, index: usize) -> RegionId {
+        assert!(
+            index < self.regions.len(),
+            "region index {index} out of range"
+        );
+        RegionId(index)
+    }
+
+    /// Number of allocated regions.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Byte address of element `index` of region `id`.
+    pub fn addr_of(&self, id: RegionId, index: u64) -> u64 {
+        self.region(id).addr_of(index)
+    }
+
+    /// All regions, in allocation order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// All irregular regions (the paper's per-stream `irreg_base`/`bound`
+    /// register file, Section V-F).
+    pub fn irregular_regions(&self) -> impl Iterator<Item = (RegionId, &Region)> {
+        self.regions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.class() == RegionClass::Irregular)
+            .map(|(i, r)| (RegionId(i), r))
+    }
+
+    /// Finds the region containing `addr`, if any.
+    pub fn region_of(&self, addr: u64) -> Option<(RegionId, &Region)> {
+        self.regions
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.contains(addr))
+            .map(|(i, r)| (RegionId(i), r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_never_overlap_or_share_lines() {
+        let mut space = AddressSpace::new();
+        let a = space.alloc("a", 13, 4, RegionClass::Streaming);
+        let b = space.alloc("b", 1, 8, RegionClass::Irregular);
+        let (ra, rb) = (space.region(a), space.region(b));
+        assert!(ra.bound() <= rb.base());
+        assert_ne!(ra.bound() / LINE_SIZE, rb.base() / LINE_SIZE);
+        assert_eq!(rb.base() % REGION_ALIGN, 0);
+    }
+
+    #[test]
+    fn addr_of_and_line_id_agree() {
+        let mut space = AddressSpace::new();
+        let src = space.alloc("srcData", 1000, 4, RegionClass::Irregular);
+        let r = space.region(src);
+        assert_eq!(r.line_id(r.addr_of(0)), 0);
+        assert_eq!(r.line_id(r.addr_of(15)), 0);
+        assert_eq!(r.line_id(r.addr_of(16)), 1);
+        assert_eq!(r.elems_per_line(), 16);
+        assert_eq!(r.num_lines(), 63); // 4000 bytes / 64
+    }
+
+    #[test]
+    fn region_of_finds_the_owner() {
+        let mut space = AddressSpace::new();
+        let a = space.alloc("a", 16, 4, RegionClass::Streaming);
+        let b = space.alloc("b", 16, 4, RegionClass::Irregular);
+        let addr = space.addr_of(b, 3);
+        let (found, region) = space.region_of(addr).expect("inside b");
+        assert_eq!(found, b);
+        assert_eq!(region.name(), "b");
+        assert!(space.region_of(space.region(a).bound() + 1).is_none());
+    }
+
+    #[test]
+    fn irregular_regions_are_filtered() {
+        let mut space = AddressSpace::new();
+        space.alloc("s", 8, 8, RegionClass::Streaming);
+        space.alloc("i1", 8, 8, RegionClass::Irregular);
+        space.alloc("i2", 8, 8, RegionClass::Irregular);
+        assert_eq!(space.irregular_regions().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn alloc_rejects_odd_element_sizes() {
+        AddressSpace::new().alloc("bad", 1, 48, RegionClass::Streaming);
+    }
+
+    #[test]
+    fn frontier_region_packs_512_vertices_per_line() {
+        let mut space = AddressSpace::new();
+        // Frontier: one u64 word per 64 vertices.
+        let f = space.alloc("frontier", 1000_u64.div_ceil(64), 8, RegionClass::Irregular);
+        assert_eq!(space.region(f).elems_per_line(), 8); // 8 words = 512 vertices
+    }
+}

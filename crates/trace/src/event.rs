@@ -1,0 +1,112 @@
+use popt_graph::VertexId;
+
+/// Identifier of a static access site — the stand-in for a program counter.
+///
+/// SHiP-PC and Hawkeye predict reuse per PC; our kernels give every distinct
+/// load/store site in the loop nest its own `SiteId`, which is exactly the
+/// signal a PC provides to those policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteId(pub u32);
+
+impl std::fmt::Display for SiteId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+/// Whether an access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Load.
+    Read,
+    /// Store (write-allocate; dirties the line).
+    Write,
+}
+
+/// One memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Byte address.
+    pub addr: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Static access site (PC surrogate).
+    pub site: SiteId,
+}
+
+/// An event in a kernel's execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A data memory access.
+    Access(Access),
+    /// The outer-loop vertex changed. Models the paper's `update_index`
+    /// instruction writing the LLC-resident `currVertex` register
+    /// (Section V-C).
+    CurrentVertex(VertexId),
+    /// Execution crossed an epoch boundary. Models the `stream_nextrefs`
+    /// instruction that swaps and refills Rereference Matrix columns
+    /// (Section V-D).
+    EpochBoundary,
+    /// A new pass/iteration over the graph began (epoch counting restarts).
+    IterationBegin,
+    /// `count` non-memory instructions retired since the previous event;
+    /// used for MPKI denominators.
+    Instructions(u32),
+    /// Subsequent accesses come from core `id` (multi-threaded traces,
+    /// paper Section V-F). Single-threaded traces never emit this.
+    Core(u32),
+}
+
+impl TraceEvent {
+    /// Convenience constructor for a read access.
+    pub fn read(addr: u64, site: u32) -> TraceEvent {
+        TraceEvent::Access(Access {
+            addr,
+            kind: AccessKind::Read,
+            site: SiteId(site),
+        })
+    }
+
+    /// Convenience constructor for a write access.
+    pub fn write(addr: u64, site: u32) -> TraceEvent {
+        TraceEvent::Access(Access {
+            addr,
+            kind: AccessKind::Write,
+            site: SiteId(site),
+        })
+    }
+
+    /// The contained access, if this is an access event.
+    pub fn as_access(&self) -> Option<&Access> {
+        match self {
+            TraceEvent::Access(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_fields() {
+        let r = TraceEvent::read(0x40, 3);
+        let w = TraceEvent::write(0x80, 4);
+        assert_eq!(
+            r.as_access(),
+            Some(&Access {
+                addr: 0x40,
+                kind: AccessKind::Read,
+                site: SiteId(3)
+            })
+        );
+        assert_eq!(w.as_access().unwrap().kind, AccessKind::Write);
+        assert_eq!(TraceEvent::EpochBoundary.as_access(), None);
+    }
+
+    #[test]
+    fn site_display() {
+        assert_eq!(SiteId(7).to_string(), "site7");
+    }
+}

@@ -1,0 +1,278 @@
+//! Trace serialization: record a kernel's event stream once, replay it
+//! against any number of policy configurations without re-running the
+//! kernel — the workflow Pin-based studies use (trace files decouple
+//! workload capture from simulation).
+//!
+//! The format is a compact little-endian binary stream: a magic header,
+//! then one tag byte per event followed by its payload. Access events
+//! delta-encode nothing (addresses are raw) but the whole stream
+//! round-trips exactly.
+
+use crate::{Access, AccessKind, SiteId, TraceEvent, TraceSink};
+use std::io::{BufReader, BufWriter, Read, Write};
+
+const MAGIC: &[u8; 8] = b"POPTTRC1";
+
+const TAG_READ: u8 = 0;
+const TAG_WRITE: u8 = 1;
+const TAG_CURRENT_VERTEX: u8 = 2;
+const TAG_EPOCH: u8 = 3;
+const TAG_ITERATION: u8 = 4;
+const TAG_INSTRUCTIONS: u8 = 5;
+const TAG_CORE: u8 = 6;
+
+/// Error type for trace file operations.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Bad magic or corrupt payload.
+    Format(String),
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceFileError::Format(m) => write!(f, "malformed trace file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+impl From<std::io::Error> for TraceFileError {
+    fn from(e: std::io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+/// Sink that streams every event to a writer in the binary format.
+///
+/// # Example
+///
+/// ```
+/// use popt_trace::{file::{TraceWriter, replay}, TraceEvent, TraceSink, CountingSink};
+///
+/// let mut buf = Vec::new();
+/// let mut writer = TraceWriter::new(&mut buf)?;
+/// writer.event(TraceEvent::read(0x40, 7));
+/// writer.event(TraceEvent::CurrentVertex(3));
+/// writer.finish()?;
+///
+/// let mut counter = CountingSink::new();
+/// let n = replay(&buf[..], &mut counter)?;
+/// assert_eq!(n, 2);
+/// assert_eq!(counter.reads, 1);
+/// # Ok::<(), popt_trace::file::TraceFileError>(())
+/// ```
+pub struct TraceWriter<W: Write> {
+    out: BufWriter<W>,
+    events: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer and emits the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn new(inner: W) -> Result<Self, TraceFileError> {
+        let mut out = BufWriter::new(inner);
+        out.write_all(MAGIC)?;
+        Ok(TraceWriter { out, events: 0 })
+    }
+
+    /// Events written so far.
+    pub fn events_written(&self) -> u64 {
+        self.events
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the flush.
+    pub fn finish(mut self) -> Result<W, TraceFileError> {
+        self.out.flush()?;
+        self.out
+            .into_inner()
+            .map_err(|e| TraceFileError::Io(e.into_error()))
+    }
+
+    fn put(&mut self, event: &TraceEvent) -> std::io::Result<()> {
+        match event {
+            TraceEvent::Access(a) => {
+                let tag = if a.kind == AccessKind::Read {
+                    TAG_READ
+                } else {
+                    TAG_WRITE
+                };
+                self.out.write_all(&[tag])?;
+                self.out.write_all(&a.addr.to_le_bytes())?;
+                self.out.write_all(&a.site.0.to_le_bytes())?;
+            }
+            TraceEvent::CurrentVertex(v) => {
+                self.out.write_all(&[TAG_CURRENT_VERTEX])?;
+                self.out.write_all(&v.to_le_bytes())?;
+            }
+            TraceEvent::EpochBoundary => self.out.write_all(&[TAG_EPOCH])?,
+            TraceEvent::IterationBegin => self.out.write_all(&[TAG_ITERATION])?,
+            TraceEvent::Instructions(n) => {
+                self.out.write_all(&[TAG_INSTRUCTIONS])?;
+                self.out.write_all(&n.to_le_bytes())?;
+            }
+            TraceEvent::Core(c) => {
+                self.out.write_all(&[TAG_CORE])?;
+                self.out.write_all(&c.to_le_bytes())?;
+            }
+        }
+        self.events += 1;
+        Ok(())
+    }
+}
+
+impl<W: Write> TraceSink for TraceWriter<W> {
+    fn event(&mut self, event: TraceEvent) {
+        // Buffered writes only fail on real I/O errors; surface them loudly
+        // rather than silently truncating a capture.
+        self.put(&event).expect("trace write failed");
+    }
+}
+
+/// Replays a recorded trace into `sink`, returning the number of events
+/// delivered.
+///
+/// # Errors
+///
+/// Returns [`TraceFileError::Format`] on bad magic or a truncated payload.
+pub fn replay<R: Read, S: TraceSink>(reader: R, mut sink: S) -> Result<u64, TraceFileError> {
+    let mut input = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    input
+        .read_exact(&mut magic)
+        .map_err(|_| TraceFileError::Format("truncated magic".into()))?;
+    if &magic != MAGIC {
+        return Err(TraceFileError::Format("bad magic".into()));
+    }
+    let mut count = 0u64;
+    let mut tag = [0u8; 1];
+    loop {
+        match input.read_exact(&mut tag) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let mut u32buf = [0u8; 4];
+        let mut u64buf = [0u8; 8];
+        let truncated = |_| TraceFileError::Format("truncated event payload".into());
+        let event = match tag[0] {
+            TAG_READ | TAG_WRITE => {
+                input.read_exact(&mut u64buf).map_err(truncated)?;
+                let addr = u64::from_le_bytes(u64buf);
+                input.read_exact(&mut u32buf).map_err(truncated)?;
+                let site = u32::from_le_bytes(u32buf);
+                TraceEvent::Access(Access {
+                    addr,
+                    kind: if tag[0] == TAG_READ {
+                        AccessKind::Read
+                    } else {
+                        AccessKind::Write
+                    },
+                    site: SiteId(site),
+                })
+            }
+            TAG_CURRENT_VERTEX => {
+                input.read_exact(&mut u32buf).map_err(truncated)?;
+                TraceEvent::CurrentVertex(u32::from_le_bytes(u32buf))
+            }
+            TAG_EPOCH => TraceEvent::EpochBoundary,
+            TAG_ITERATION => TraceEvent::IterationBegin,
+            TAG_INSTRUCTIONS => {
+                input.read_exact(&mut u32buf).map_err(truncated)?;
+                TraceEvent::Instructions(u32::from_le_bytes(u32buf))
+            }
+            TAG_CORE => {
+                input.read_exact(&mut u32buf).map_err(truncated)?;
+                TraceEvent::Core(u32::from_le_bytes(u32buf))
+            }
+            other => return Err(TraceFileError::Format(format!("unknown event tag {other}"))),
+        };
+        sink.event(event);
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RecordingSink;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::IterationBegin,
+            TraceEvent::Core(3),
+            TraceEvent::CurrentVertex(42),
+            TraceEvent::read(0xdead_beef_cafe, 9),
+            TraceEvent::write(0x40, u32::MAX),
+            TraceEvent::Instructions(17),
+            TraceEvent::EpochBoundary,
+        ]
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap();
+        for ev in sample_events() {
+            w.event(ev);
+        }
+        assert_eq!(w.events_written(), 7);
+        w.finish().unwrap();
+        let mut rec = RecordingSink::new();
+        let n = replay(&buf[..], &mut rec).unwrap();
+        assert_eq!(n, 7);
+        assert_eq!(rec.events(), &sample_events()[..]);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut rec = RecordingSink::new();
+        assert!(matches!(
+            replay(&b"NOTATRCE"[..], &mut rec),
+            Err(TraceFileError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_detected() {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap();
+        w.event(TraceEvent::read(0x1000, 1));
+        w.finish().unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut rec = RecordingSink::new();
+        assert!(matches!(
+            replay(&buf[..], &mut rec),
+            Err(TraceFileError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(99);
+        let mut rec = RecordingSink::new();
+        assert!(replay(&buf[..], &mut rec).is_err());
+    }
+
+    #[test]
+    fn empty_trace_replays_zero_events() {
+        let mut buf = Vec::new();
+        TraceWriter::new(&mut buf).unwrap().finish().unwrap();
+        let mut rec = RecordingSink::new();
+        assert_eq!(replay(&buf[..], &mut rec).unwrap(), 0);
+    }
+}

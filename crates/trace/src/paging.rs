@@ -1,0 +1,165 @@
+//! Virtual→physical page mapping emulation.
+//!
+//! The paper's P-OPT "sidesteps the complexity of address translation by
+//! requiring that the entire irregData array fits in a single 1 GB Huge
+//! Page" (Section V-B): the `irreg_base`/`irreg_bound` registers compare
+//! *physical* addresses, so the scheme only works if the array is
+//! physically contiguous. [`PageScrambler`] emulates the alternative — an
+//! OS handing out scattered 4 KiB frames — by remapping each page of the
+//! trace to a pseudo-random physical frame. Driving a simulation through
+//! it shows exactly why the huge-page requirement exists (see the `ext6`
+//! experiment).
+
+use crate::{TraceEvent, TraceSink};
+use std::collections::HashMap;
+
+/// Page size of the emulated small-page mapping (4 KiB).
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Trace adapter that translates every access through an
+/// allocate-on-first-touch map from virtual to scattered physical frames.
+///
+/// The mapping is a deterministic bijection (SplitMix-style hash into a
+/// large physical frame space, with linear probing on collisions), so
+/// replays are reproducible and no two virtual pages share a frame.
+///
+/// # Example
+///
+/// ```
+/// use popt_trace::{paging::PageScrambler, RecordingSink, TraceEvent, TraceSink};
+///
+/// let mut scrambler = PageScrambler::new(RecordingSink::new(), 1);
+/// scrambler.event(TraceEvent::read(0x1000, 0));
+/// scrambler.event(TraceEvent::read(0x1008, 0)); // same page, same frame
+/// let rec = scrambler.into_inner();
+/// let a = rec.events()[0].as_access().unwrap().addr;
+/// let b = rec.events()[1].as_access().unwrap().addr;
+/// assert_eq!(a + 8, b);
+/// assert_ne!(a, 0x1000, "the frame moved");
+/// ```
+#[derive(Debug)]
+pub struct PageScrambler<S> {
+    inner: S,
+    seed: u64,
+    frames: HashMap<u64, u64>,
+    used: std::collections::HashSet<u64>,
+}
+
+impl<S> PageScrambler<S> {
+    /// Wraps `inner`, remapping pages deterministically from `seed`.
+    pub fn new(inner: S, seed: u64) -> Self {
+        PageScrambler {
+            inner,
+            seed,
+            frames: HashMap::new(),
+            used: Default::default(),
+        }
+    }
+
+    /// Returns the wrapped sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Number of distinct pages touched.
+    pub fn pages_mapped(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn frame_of(&mut self, vframe: u64) -> u64 {
+        if let Some(&f) = self.frames.get(&vframe) {
+            return f;
+        }
+        // SplitMix64 over a 2^30-frame (4 TiB) physical space.
+        let mut x = vframe
+            .wrapping_add(self.seed)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        let mut frame = x % (1 << 30);
+        while !self.used.insert(frame) {
+            frame = (frame + 1) % (1 << 30);
+        }
+        self.frames.insert(vframe, frame);
+        frame
+    }
+
+    fn translate(&mut self, addr: u64) -> u64 {
+        let vframe = addr >> PAGE_SHIFT;
+        let offset = addr & ((1 << PAGE_SHIFT) - 1);
+        (self.frame_of(vframe) << PAGE_SHIFT) | offset
+    }
+}
+
+impl<S: TraceSink> TraceSink for PageScrambler<S> {
+    fn event(&mut self, event: TraceEvent) {
+        let event = match event {
+            TraceEvent::Access(mut a) => {
+                a.addr = self.translate(a.addr);
+                TraceEvent::Access(a)
+            }
+            other => other,
+        };
+        self.inner.event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RecordingSink;
+
+    #[test]
+    fn mapping_is_a_stable_bijection() {
+        let mut s = PageScrambler::new(RecordingSink::new(), 7);
+        let mut frames = std::collections::HashSet::new();
+        for vpage in 0..500u64 {
+            let p1 = s.translate(vpage << PAGE_SHIFT);
+            let p2 = s.translate((vpage << PAGE_SHIFT) + 100);
+            assert_eq!(p1 >> PAGE_SHIFT, p2 >> PAGE_SHIFT, "same page, same frame");
+            assert!(frames.insert(p1 >> PAGE_SHIFT), "frame reused");
+        }
+        assert_eq!(s.pages_mapped(), 500);
+    }
+
+    #[test]
+    fn offsets_within_a_page_survive() {
+        let mut s = PageScrambler::new(RecordingSink::new(), 3);
+        let base = s.translate(0x40_0000);
+        assert_eq!(s.translate(0x40_0FFF), base + 0xFFF);
+    }
+
+    #[test]
+    fn different_seeds_scatter_differently() {
+        let mut a = PageScrambler::new(RecordingSink::new(), 1);
+        let mut b = PageScrambler::new(RecordingSink::new(), 2);
+        assert_ne!(a.translate(0x1000), b.translate(0x1000));
+    }
+
+    #[test]
+    fn control_events_pass_through_untouched() {
+        let mut s = PageScrambler::new(RecordingSink::new(), 1);
+        s.event(TraceEvent::CurrentVertex(9));
+        s.event(TraceEvent::EpochBoundary);
+        let rec = s.into_inner();
+        assert_eq!(rec.events()[0], TraceEvent::CurrentVertex(9));
+        assert_eq!(rec.events()[1], TraceEvent::EpochBoundary);
+    }
+
+    #[test]
+    fn contiguity_is_destroyed_across_pages() {
+        // The property the huge-page requirement protects: adjacent virtual
+        // pages land in non-adjacent frames, so no (base, bound) pair can
+        // capture a multi-page array.
+        let mut s = PageScrambler::new(RecordingSink::new(), 11);
+        let adjacent = (0..64u64)
+            .map(|p| s.translate(p << PAGE_SHIFT) >> PAGE_SHIFT)
+            .collect::<Vec<_>>();
+        let contiguous_pairs = adjacent.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(
+            contiguous_pairs < 4,
+            "scrambler left {contiguous_pairs} contiguous pairs"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Epoch-quantization tuning: explore the Rereference Matrix design space
+//! on one graph — entry encodings, quantization widths, footprints,
+//! reserved ways, tie rates, and the epoch-ahead prefetch planner the
+//! paper sketches as future work.
+//!
+//! Run with: `cargo run --release --example epoch_tuning`
+
+use p_opt::core::{prefetch, Popt, PoptConfig};
+use p_opt::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let g = p_opt::graph::generators::rmat(
+        16,
+        4 * 65_536,
+        p_opt::graph::generators::RmatParams::POWER_LAW,
+        7,
+    );
+    let cfg = HierarchyConfig::scaled_table1();
+    let app = App::Pagerank;
+    let plan = app.plan(&g);
+    println!(
+        "power-law graph: {} vertices, {} edges; LLC {} KB x {} ways\n",
+        g.num_vertices(),
+        g.num_edges(),
+        cfg.llc.size_bytes() / 1024,
+        cfg.llc.ways()
+    );
+
+    println!(
+        "{:22} {:>6} {:>10} {:>9} {:>9} {:>10} {:>8}",
+        "design", "bits", "col bytes", "reserved", "misses", "tie rate", "epochs"
+    );
+    for (quant, encoding) in [
+        (Quantization::FOUR, Encoding::InterIntra),
+        (Quantization::EIGHT, Encoding::InterOnly),
+        (Quantization::EIGHT, Encoding::InterIntra),
+        (Quantization::EIGHT, Encoding::SingleEpoch),
+        (Quantization::SIXTEEN, Encoding::InterIntra),
+    ] {
+        let matrix = Arc::new(RerefMatrix::build(g.out_csr(), 16, 1, quant, encoding));
+        let region = plan.space.region(plan.irregs[0].region);
+        let binding = StreamBinding {
+            base: region.base(),
+            bound: region.bound(),
+            matrix: matrix.clone(),
+        };
+        let reserved = matrix.reserved_llc_ways(&cfg.llc);
+        let run_cfg = cfg
+            .clone()
+            .with_reserved_ways(reserved.min(cfg.llc.ways() - 1));
+        let mut h = Hierarchy::new(&run_cfg, |s, w| {
+            Box::new(Popt::new(PoptConfig::new(vec![binding.clone()]), s, w))
+        });
+        h.set_address_space(&plan.space);
+        app.trace(&g, &plan, &mut h);
+        let stats = h.stats();
+        let ties = stats.overheads.ties as f64 / stats.overheads.decisions.max(1) as f64;
+        println!(
+            "{:22} {:>6} {:>10} {:>9} {:>9} {:>9.1}% {:>8}",
+            format!("{encoding}"),
+            quant.bits(),
+            matrix.column_bytes(),
+            reserved,
+            stats.llc.misses,
+            ties * 100.0,
+            matrix.num_epochs(),
+        );
+    }
+
+    // Prefetch planning (paper Section VIII future work): what the matrix
+    // says the next epoch will touch.
+    let matrix = RerefMatrix::build(
+        g.out_csr(),
+        16,
+        1,
+        Quantization::EIGHT,
+        Encoding::InterIntra,
+    );
+    let mut planner = prefetch::EpochPrefetcher::new(&matrix);
+    let plan0 = planner.advance(0).expect("first epoch plans");
+    println!(
+        "\nepoch-ahead prefetcher: epoch 1 will touch {} of {} irregular lines ({:.1}%)",
+        plan0.len(),
+        matrix.num_lines(),
+        plan0.len() as f64 / matrix.num_lines() as f64 * 100.0
+    );
+}

@@ -1,0 +1,88 @@
+//! Policy shoot-out: run any of the five paper applications on any of the
+//! five suite inputs under the full replacement-policy zoo — including
+//! Belady's MIN computed by two-pass trace recording — and print an MPKI
+//! league table.
+//!
+//! Run with: `cargo run --release --example policy_zoo -- [app] [graph]`
+//! where `app` ∈ {pr, cc, pr-delta, radii, mis} (default pr) and `graph` ∈
+//! {dbp, uk02, kron, urand, hbubl} (default urand).
+
+use p_opt::graph::suite::{suite_graph, SuiteGraph, SuiteScale};
+use p_opt::prelude::*;
+use p_opt::sim::policies::Belady;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app = match args.first().map(String::as_str) {
+        None | Some("pr") => App::Pagerank,
+        Some("cc") => App::Components,
+        Some("pr-delta") => App::PagerankDelta,
+        Some("radii") => App::Radii,
+        Some("mis") => App::Mis,
+        Some(other) => {
+            eprintln!("unknown app {other}; use pr|cc|pr-delta|radii|mis");
+            std::process::exit(1);
+        }
+    };
+    let which = match args.get(1).map(String::as_str) {
+        Some("dbp") => SuiteGraph::Dbp,
+        Some("uk02") => SuiteGraph::Uk02,
+        Some("kron") => SuiteGraph::Kron,
+        None | Some("urand") => SuiteGraph::Urand,
+        Some("hbubl") => SuiteGraph::Hbubl,
+        Some(other) => {
+            eprintln!("unknown graph {other}; use dbp|uk02|kron|urand|hbubl");
+            std::process::exit(1);
+        }
+    };
+    let g = suite_graph(which, SuiteScale::Standard);
+    let cfg = HierarchyConfig::scaled_table1();
+    let plan = app.plan(&g);
+    println!(
+        "{} on {} ({} vertices, {} edges)\n",
+        app,
+        which,
+        g.num_vertices(),
+        g.num_edges()
+    );
+    println!(
+        "{:10} {:>10} {:>9} {:>8}",
+        "policy", "misses", "missrate", "MPKI"
+    );
+
+    let mut results: Vec<(String, u64, f64, f64)> = Vec::new();
+    for kind in PolicyKind::ALL {
+        let mut h = Hierarchy::new(&cfg, |s, w| kind.build(s, w));
+        h.set_address_space(&plan.space);
+        app.trace(&g, &plan, &mut h);
+        let s = h.stats();
+        results.push((
+            kind.label().to_string(),
+            s.llc.misses,
+            s.llc.miss_rate(),
+            s.llc_mpki(),
+        ));
+    }
+
+    // Belady's MIN: record the LLC stream once, then replay with the oracle.
+    let mut recorder = Hierarchy::new(&cfg, |s, w| PolicyKind::Lru.build(s, w));
+    recorder.set_address_space(&plan.space);
+    recorder.start_recording_llc();
+    app.trace(&g, &plan, &mut recorder);
+    let llc_stream = recorder.take_llc_recording();
+    let mut oracle = Hierarchy::new(&cfg, |s, w| Box::new(Belady::from_trace(s, w, &llc_stream)));
+    oracle.set_address_space(&plan.space);
+    app.trace(&g, &plan, &mut oracle);
+    let s = oracle.stats();
+    results.push((
+        "OPT (MIN)".to_string(),
+        s.llc.misses,
+        s.llc.miss_rate(),
+        s.llc_mpki(),
+    ));
+
+    results.sort_by(|a, b| a.1.cmp(&b.1));
+    for (name, misses, rate, mpki) in results {
+        println!("{name:10} {misses:>10} {:>8.1}% {mpki:>8.2}", rate * 100.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Software locality optimizations and how P-OPT composes with them:
+//! degree-based reordering (DBG), CSR-segmenting (1-D tiling), and the
+//! graph I/O round trip — the workflow a systems researcher would run on a
+//! new input before deciding which optimization to deploy.
+//!
+//! Run with: `cargo run --release --example reorder_and_tile`
+
+use p_opt::graph::{generators, io, reorder, tiling};
+use p_opt::kernels::{components, pagerank};
+
+fn main() {
+    // A skewed graph, saved and reloaded through the binary format (as a
+    // real pipeline would cache preprocessed inputs).
+    let g = generators::rmat(15, 4 * 32_768, generators::RmatParams::KRONECKER, 3);
+    let mut bytes = Vec::new();
+    io::write_binary(&g, &mut bytes).expect("serialize");
+    let g = io::read_binary(&bytes[..]).expect("deserialize");
+    println!(
+        "graph: {} vertices, {} edges, degree gini {:.2} ({} KB on disk)",
+        g.num_vertices(),
+        g.num_edges(),
+        p_opt::graph::stats::degree_gini(&g),
+        bytes.len() / 1024
+    );
+
+    // Degree-based grouping: hubs first, original order within groups.
+    let (perm, boundaries) = reorder::degree_based_grouping(&g);
+    let dbg_graph = g.relabel(&perm);
+    println!("\nDBG groups (end vertex per group, hottest first):");
+    let mut prev = 0;
+    for (i, &end) in boundaries.iter().enumerate() {
+        if end != prev {
+            println!(
+                "  group {i}: vertices {prev}..{end} ({} vertices)",
+                end - prev
+            );
+        }
+        prev = end;
+    }
+
+    // CSR-segmenting: split the irregular range into tiles.
+    for tiles in [2usize, 4, 8] {
+        let segmented = tiling::segment(&dbg_graph, tiles);
+        let max_edges = segmented
+            .iter()
+            .map(|t| t.csc.num_edges())
+            .max()
+            .unwrap_or(0);
+        println!(
+            "{tiles} tiles: src span {} vertices each, heaviest tile {} edges",
+            segmented[0].src_span(),
+            max_edges
+        );
+    }
+
+    // The kernels still agree after reordering (results are per-vertex,
+    // so compare through the permutation).
+    let ranks = pagerank::run(&g, 15);
+    let ranks_dbg = pagerank::run(&dbg_graph, 15);
+    let max_dev = (0..g.num_vertices())
+        .map(|v| (ranks[v] - ranks_dbg[perm[v] as usize]).abs())
+        .fold(0.0f64, f64::max);
+    println!("\nPageRank invariant under reordering: max deviation {max_dev:.2e}");
+
+    let comp = components::run(&g);
+    let num_components = {
+        let mut roots: Vec<_> = comp.clone();
+        roots.sort_unstable();
+        roots.dedup();
+        roots.len()
+    };
+    println!("connected components: {num_components}");
+}

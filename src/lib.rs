@@ -1,0 +1,73 @@
+//! **p-opt** — a from-scratch Rust reproduction of *P-OPT: Practical
+//! Optimal Cache Replacement for Graph Analytics* (Balaji, Crago, Jaleel,
+//! Lucia — HPCA 2021).
+//!
+//! The paper's insight: a graph's transpose encodes the next reference of
+//! every vertex's data, so Belady's MIN replacement can be emulated with a
+//! data-structure lookup instead of an oracle. This workspace implements
+//! the full stack:
+//!
+//! * [`graph`] — CSR/CSC graphs, generators, reordering, tiling
+//!   (`popt-graph`).
+//! * [`trace`] — simulated address spaces and kernel trace events
+//!   (`popt-trace`).
+//! * [`sim`] — the multi-level cache simulator and baseline replacement
+//!   policies: LRU, Bit-PLRU, DRRIP, SHiP, Hawkeye, Belady, GRASP
+//!   (`popt-sim`).
+//! * [`core`] — the paper's contribution: the epoch-quantized Rereference
+//!   Matrix, the T-OPT oracle, and the P-OPT policy (`popt-core`).
+//! * [`kernels`] — the five evaluated graph applications plus PB/PHI,
+//!   HATS-BDFS, and CSR-segmenting (`popt-kernels`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use p_opt::prelude::*;
+//!
+//! // A graph that thrashes the (scaled) LLC.
+//! let g = p_opt::graph::generators::uniform_random(16_384, 65_536, 42);
+//! let cfg = HierarchyConfig::small_test();
+//!
+//! // Simulate one PageRank pull iteration under LRU...
+//! let plan = App::Pagerank.plan(&g);
+//! let mut lru = Hierarchy::new(&cfg, |sets, ways| PolicyKind::Lru.build(sets, ways));
+//! lru.set_address_space(&plan.space);
+//! App::Pagerank.trace(&g, &plan, &mut lru);
+//!
+//! // ...and under P-OPT (preprocess the Rereference Matrix, bind it, go).
+//! let matrix = RerefMatrix::build(g.out_csr(), 16, 1,
+//!                                 Quantization::EIGHT, Encoding::InterIntra);
+//! let region = plan.space.region(plan.irregs[0].region);
+//! let binding = StreamBinding {
+//!     base: region.base(), bound: region.bound(),
+//!     matrix: std::sync::Arc::new(matrix),
+//! };
+//! let reserved = binding.matrix.reserved_llc_ways(&cfg.llc);
+//! let popt_cfg = cfg.clone().with_reserved_ways(reserved);
+//! let mut popt = Hierarchy::new(&popt_cfg, |sets, ways| {
+//!     Box::new(Popt::new(PoptConfig::new(vec![binding.clone()]), sets, ways))
+//! });
+//! popt.set_address_space(&plan.space);
+//! App::Pagerank.trace(&g, &plan, &mut popt);
+//!
+//! assert!(popt.stats().llc.misses < lru.stats().llc.misses);
+//! ```
+
+pub use popt_core as core;
+pub use popt_graph as graph;
+pub use popt_kernels as kernels;
+pub use popt_sim as sim;
+pub use popt_trace as trace;
+
+/// The commonly-used types in one import.
+pub mod prelude {
+    pub use popt_core::{
+        Encoding, Popt, PoptConfig, Quantization, RerefMatrix, StreamBinding, Topt,
+    };
+    pub use popt_graph::{Csr, Direction, Frontier, Graph, GraphBuilder, VertexId};
+    pub use popt_kernels::App;
+    pub use popt_sim::{
+        CacheConfig, Hierarchy, HierarchyConfig, PolicyKind, ReplacementPolicy, TimingModel,
+    };
+    pub use popt_trace::{AddressSpace, RegionClass, TraceEvent, TraceSink};
+}

@@ -1,0 +1,46 @@
+//! The full app × graph safety net: every simulated cell of the Figure 10
+//! matrix, at Small scale, must uphold the paper's basic ordering — P-OPT
+//! never meaningfully loses to DRRIP, and T-OPT never loses to P-OPT.
+//! This is the broad regression net behind the per-figure tests.
+
+use p_opt::prelude::*;
+use popt_cli::experiments::fig10_main::is_simulated;
+use popt_cli::runner::{simulate, PolicySpec};
+use popt_graph::suite::{suite_graph, SuiteGraph, SuiteScale};
+
+#[test]
+fn popt_holds_across_the_entire_figure10_matrix() {
+    let cfg = HierarchyConfig::small_test();
+    let mut cells = 0;
+    for app in App::ALL {
+        for which in SuiteGraph::ALL {
+            let g = suite_graph(which, SuiteScale::Small);
+            if !is_simulated(app, which, &g) {
+                continue;
+            }
+            let drrip = simulate(app, &g, &cfg, &PolicySpec::Baseline(PolicyKind::Drrip));
+            let popt = simulate(app, &g, &cfg, &PolicySpec::popt_default());
+            let topt = simulate(app, &g, &cfg, &PolicySpec::Topt);
+            // T-OPT is the oracle bound for transpose-guided replacement:
+            // quantization cannot beat it by more than noise.
+            assert!(
+                topt.llc.misses <= popt.llc.misses * 102 / 100,
+                "{app}x{which}: T-OPT {} vs P-OPT {}",
+                topt.llc.misses,
+                popt.llc.misses
+            );
+            // P-OPT never meaningfully loses to DRRIP (2% slack covers the
+            // frontier apps' double reservation on the least favorable
+            // inputs).
+            assert!(
+                popt.llc.misses <= drrip.llc.misses * 102 / 100,
+                "{app}x{which}: P-OPT {} vs DRRIP {}",
+                popt.llc.misses,
+                drrip.llc.misses
+            );
+            cells += 1;
+        }
+    }
+    // 5 apps x 5 graphs minus the measured Radii exclusions.
+    assert!(cells >= 20, "only {cells} cells simulated");
+}

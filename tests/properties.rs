@@ -1,0 +1,177 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates.
+
+use p_opt::prelude::*;
+use p_opt::sim::policies::{Belady, Lru};
+use p_opt::sim::{AccessMeta, SetAssocCache};
+use popt_trace::{AccessKind, SiteId};
+use proptest::prelude::*;
+
+fn meta(line: u64) -> AccessMeta {
+    AccessMeta {
+        line,
+        site: SiteId(0),
+        kind: AccessKind::Read,
+        class: RegionClass::Streaming,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CSR/transpose round trip: transposing twice is the identity, and
+    /// degree sums are preserved, for arbitrary edge lists.
+    #[test]
+    fn csr_transpose_involution(edges in prop::collection::vec((0u32..64, 0u32..64), 0..200)) {
+        let csr = Csr::from_edges(64, &edges).expect("in range");
+        let round = csr.transpose().transpose();
+        prop_assert_eq!(&round, &csr);
+        let out: usize = (0..64u32).map(|v| csr.degree(v)).sum();
+        let inn: usize = (0..64u32).map(|v| csr.transpose().degree(v)).sum();
+        prop_assert_eq!(out, inn);
+        prop_assert_eq!(out, edges.len());
+    }
+
+    /// `next_neighbor_after` agrees with a linear scan for arbitrary graphs.
+    #[test]
+    fn next_neighbor_matches_linear_scan(
+        edges in prop::collection::vec((0u32..32, 0u32..32), 1..100),
+        v in 0u32..32,
+        after in 0u32..32,
+    ) {
+        let csr = Csr::from_edges(32, &edges).expect("in range");
+        let expected = csr.neighbors(v).iter().copied().filter(|&n| n > after).min();
+        prop_assert_eq!(csr.next_neighbor_after(v, after), expected);
+    }
+
+    /// Algorithm 2 never reports a smaller next-reference epoch than the
+    /// truth: quantization may round *down* distances (sub-epoch loss) but
+    /// an entry must never claim a reference that does not exist beyond
+    /// the horizon it encodes.
+    #[test]
+    fn rereference_matrix_is_epoch_exact_for_absent_epochs(
+        edges in prop::collection::vec((0u32..48, 0u32..48), 1..150),
+        cur in 0u32..48,
+    ) {
+        let transpose = Csr::from_edges(48, &edges).expect("in range");
+        let m = RerefMatrix::build(&transpose, 1, 1, Quantization::EIGHT, Encoding::InterIntra);
+        // With 48 vertices and 8-bit quantization the epoch size is 1, so
+        // epoch distances are exact vertex distances.
+        prop_assert_eq!(m.epoch_size(), 1);
+        for line in 0..48usize {
+            let truth = transpose
+                .neighbors(line as u32)
+                .iter()
+                .copied()
+                .filter(|&d| d >= cur)
+                .min();
+            let got = m.next_ref(line, cur);
+            match truth {
+                Some(d) => {
+                    let exact = d - cur;
+                    // The current-epoch entry may have recorded an *earlier*
+                    // final access; then Algorithm 2 consults the next epoch
+                    // and reports exactly.
+                    prop_assert!(
+                        got == exact || (exact == 0 && got == 0),
+                        "line {} cur {}: got {} want {}", line, cur, got, exact
+                    );
+                }
+                None => {
+                    // No reference at or after cur: the matrix must report a
+                    // distance beyond any real reference (sentinel/infinite
+                    // or at least past the remaining vertex range).
+                    prop_assert!(
+                        got == p_opt::core::INFINITE_DISTANCE || got as u64 > (47 - cur) as u64,
+                        "line {} cur {}: got {} for dead line", line, cur, got
+                    );
+                }
+            }
+        }
+    }
+
+    /// Belady's MIN never loses to LRU on any random line trace, at any
+    /// associativity (the defining optimality property, exercised through
+    /// the real cache machinery).
+    #[test]
+    fn belady_dominates_lru(
+        trace in prop::collection::vec(0u64..24, 16..400),
+        ways in 2usize..8,
+    ) {
+        let cache_cfg = CacheConfig::new(64 * ways, ways);
+        let run = |policy: Box<dyn ReplacementPolicy>| {
+            let mut c = SetAssocCache::new(cache_cfg, policy);
+            trace.iter().filter(|&&l| c.access(&meta(l)).is_hit()).count()
+        };
+        let lru_hits = run(Box::new(Lru::new(1, ways)));
+        let opt_hits = run(Box::new(Belady::from_trace(1, ways, &trace)));
+        prop_assert!(opt_hits >= lru_hits, "OPT {} < LRU {}", opt_hits, lru_hits);
+    }
+
+    /// Frontier insert/remove/contains behaves like a reference set.
+    #[test]
+    fn frontier_matches_reference_set(ops in prop::collection::vec((0u32..256, any::<bool>()), 0..300)) {
+        let mut frontier = Frontier::new(256);
+        let mut reference = std::collections::BTreeSet::new();
+        for (v, insert) in ops {
+            if insert {
+                prop_assert_eq!(frontier.insert(v), reference.insert(v));
+            } else {
+                prop_assert_eq!(frontier.remove(v), reference.remove(&v));
+            }
+        }
+        prop_assert_eq!(frontier.len(), reference.len());
+        let iterated: Vec<u32> = frontier.iter().collect();
+        let expected: Vec<u32> = reference.into_iter().collect();
+        prop_assert_eq!(iterated, expected);
+    }
+
+    /// Tiling partitions the edge set for any tile count.
+    #[test]
+    fn tiling_partitions_edges(
+        edges in prop::collection::vec((0u32..40, 0u32..40), 0..200),
+        tiles in 1usize..9,
+    ) {
+        let g = Graph::from_edges(40, &edges).expect("in range");
+        let segmented = p_opt::graph::tiling::segment(&g, tiles);
+        let total: usize = segmented.iter().map(|t| t.csc.num_edges()).sum();
+        prop_assert_eq!(total, g.num_edges());
+    }
+
+    /// PageRank results are invariant under vertex relabeling.
+    #[test]
+    fn pagerank_is_relabel_invariant(
+        edges in prop::collection::vec((0u32..24, 0u32..24), 1..120),
+        seed in 0u64..1000,
+    ) {
+        let g = Graph::from_edges(24, &edges).expect("in range");
+        let perm = p_opt::graph::reorder::random_permutation(24, seed);
+        let h = g.relabel(&perm);
+        let r_g = p_opt::kernels::pagerank::run(&g, 10);
+        let r_h = p_opt::kernels::pagerank::run(&h, 10);
+        for v in 0..24usize {
+            prop_assert!((r_g[v] - r_h[perm[v] as usize]).abs() < 1e-12);
+        }
+    }
+}
+
+/// The cache never reports more hits than accesses, and set occupancy never
+/// exceeds the data ways — checked against a long adversarial trace.
+#[test]
+fn cache_accounting_invariants() {
+    let cfg = CacheConfig::new(64 * 8 * 4, 8); // 4 sets, 8 ways
+    let mut c = SetAssocCache::with_reserved_ways(cfg, Box::new(Lru::new(4, 8)), 3);
+    let mut hits = 0u64;
+    for i in 0..10_000u64 {
+        let line = (i * 2654435761) % 64;
+        if c.access(&meta(line)).is_hit() {
+            hits += 1;
+        }
+    }
+    let stats = c.stats();
+    assert_eq!(stats.hits, hits);
+    assert_eq!(stats.hits + stats.misses, 10_000);
+    // 4 sets x 5 data ways = at most 20 resident lines.
+    let resident = (0..64).filter(|&l| c.contains(l)).count();
+    assert!(resident <= 20, "resident {resident} exceeds data capacity");
+}

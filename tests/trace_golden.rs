@@ -1,0 +1,118 @@
+//! Golden-trace regression tests: the exact event sequences kernels emit
+//! for tiny hand-checked graphs. These pin the trace format — any change
+//! to the instrumentation shows up here first, before it silently shifts
+//! every simulated number in EXPERIMENTS.md.
+
+use p_opt::prelude::*;
+use popt_kernels::pagerank;
+use popt_trace::RecordingSink;
+
+/// Figure 1's example graph.
+fn figure1() -> Graph {
+    Graph::from_edges(
+        5,
+        &[
+            (0, 2),
+            (1, 0),
+            (1, 4),
+            (2, 0),
+            (2, 1),
+            (2, 3),
+            (3, 1),
+            (3, 4),
+            (4, 0),
+            (4, 2),
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn pagerank_trace_of_figure1_is_exactly_the_papers_access_stream() {
+    // The paper's Figure 3 walkthrough lists the pull execution's irregular
+    // accesses: processing D0 touches srcData S1, S2, S4; D1 touches S2,
+    // S3; D2 touches S0, S4; D3 touches S2; D4 touches S1, S3.
+    let g = figure1();
+    let plan = pagerank::plan(&g);
+    let mut rec = RecordingSink::new();
+    pagerank::trace(&g, &plan, &mut rec);
+    let src_region = plan.space.regions()[2].clone();
+    let src_reads: Vec<u64> = rec
+        .events()
+        .iter()
+        .filter_map(|e| e.as_access())
+        .filter(|a| src_region.contains(a.addr))
+        .map(|a| (a.addr - src_region.base()) / 4)
+        .collect();
+    assert_eq!(src_reads, vec![1, 2, 4, 2, 3, 0, 4, 2, 1, 3]);
+}
+
+#[test]
+fn pagerank_trace_event_shape_is_stable() {
+    // Event-by-event golden sequence for a 3-vertex graph: 0 -> 1 -> 2.
+    use popt_trace::TraceEvent as E;
+    let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    let plan = pagerank::plan(&g);
+    let mut rec = RecordingSink::new();
+    pagerank::trace(&g, &plan, &mut rec);
+    let regions = plan.space.regions();
+    let (oa, na, src, dst) = (&regions[0], &regions[1], &regions[2], &regions[3]);
+    let expected = vec![
+        E::IterationBegin,
+        // dst 0: no incoming neighbors.
+        E::CurrentVertex(0),
+        E::read(oa.addr_of(0), pagerank::sites::OA),
+        E::Instructions(5),
+        E::write(dst.addr_of(0), pagerank::sites::DST),
+        // dst 1: incoming neighbor 0 (NA entry 0).
+        E::CurrentVertex(1),
+        E::read(oa.addr_of(1), pagerank::sites::OA),
+        E::Instructions(5),
+        E::read(na.addr_of(0), pagerank::sites::NA),
+        E::read(src.addr_of(0), pagerank::sites::SRC),
+        E::Instructions(3),
+        E::write(dst.addr_of(1), pagerank::sites::DST),
+        // dst 2: incoming neighbor 1 (NA entry 1).
+        E::CurrentVertex(2),
+        E::read(oa.addr_of(2), pagerank::sites::OA),
+        E::Instructions(5),
+        E::read(na.addr_of(1), pagerank::sites::NA),
+        E::read(src.addr_of(1), pagerank::sites::SRC),
+        E::Instructions(3),
+        E::write(dst.addr_of(2), pagerank::sites::DST),
+    ];
+    assert_eq!(rec.events(), &expected[..]);
+}
+
+#[test]
+fn every_app_trace_is_wellformed_on_figure1() {
+    // Structural invariants for all five apps: accesses stay inside
+    // allocated regions, currVertex values are in range, iteration markers
+    // come first.
+    let g = figure1();
+    for app in App::ALL {
+        let plan = app.plan(&g);
+        let mut rec = RecordingSink::new();
+        app.trace(&g, &plan, &mut rec);
+        let events = rec.events();
+        assert!(
+            matches!(events.first(), Some(popt_trace::TraceEvent::IterationBegin)),
+            "{app}: trace must open with IterationBegin"
+        );
+        for ev in events {
+            match ev {
+                popt_trace::TraceEvent::Access(a) => {
+                    assert!(
+                        plan.space.region_of(a.addr).is_some(),
+                        "{app}: access outside every region at {:#x}",
+                        a.addr
+                    );
+                }
+                popt_trace::TraceEvent::CurrentVertex(v) => {
+                    assert!((*v as usize) < g.num_vertices(), "{app}: currVertex {v}");
+                }
+                _ => {}
+            }
+        }
+    }
+}
