@@ -1,0 +1,25 @@
+// Fixture: the compliant counterpart — non-panicking lookups, checked
+// casts, ordered collections, seeded randomness.
+
+use std::collections::BTreeMap;
+
+pub fn pick_victim(ways: &[u32]) -> usize {
+    ways.iter()
+        .enumerate()
+        .max_by_key(|&(_, v)| *v)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+pub fn quantize(distance: u64) -> u16 {
+    u16::try_from(distance).unwrap_or(u16::MAX)
+}
+
+pub fn summarize() -> BTreeMap<String, u64> {
+    BTreeMap::new()
+}
+
+pub fn seeded() -> u64 {
+    let seed: u64 = 42;
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}

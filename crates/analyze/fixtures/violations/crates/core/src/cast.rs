@@ -1,0 +1,10 @@
+// Fixture: the cast helper itself is exempt from lossy-cast — bare `as`
+// here is the implementation primitive.
+
+pub fn saturate_u8(v: u64) -> u8 {
+    if v > u8::MAX as u64 {
+        u8::MAX
+    } else {
+        v as u8
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: lossy narrowing casts inside the enforced cast scope.
+
+pub fn quantize(distance: u64, vertices: usize) -> u16 {
+    let d = distance as u16; // lossy-cast
+    let _e = vertices as u32; // lossy-cast
+    let _wide = distance as u128; // widening: must NOT fire
+    d
+}

@@ -1,0 +1,21 @@
+// Fixture: a hot-path file with every panic-family violation the lint
+// must catch, plus slice indexing (warn severity).
+
+pub fn pick_victim(ways: &[u32]) -> usize {
+    let best = ways.iter().max().unwrap(); // hot-path-panic
+    if *best == 0 {
+        panic!("empty set"); // hot-path-panic
+    }
+    let first = ways.first().expect("nonempty"); // hot-path-panic
+    let _ = ways[0]; // hot-path-index (warn)
+    todo!() // hot-path-panic
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_regions_are_exempt() {
+        let v: Vec<u32> = vec![1];
+        assert_eq!(*v.first().unwrap(), v[0]); // exempt: test code
+    }
+}

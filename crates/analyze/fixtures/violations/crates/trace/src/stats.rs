@@ -1,0 +1,10 @@
+// Fixture: order-instability and entropy in an ordered-output path.
+
+use std::collections::HashMap; // hashmap-in-ordered-path
+
+pub fn summarize() -> HashMap<String, u64> {
+    // hashmap-in-ordered-path (the type use above and here both fire)
+    let mut rng = rand::thread_rng(); // unseeded-rng
+    let _ = rng;
+    HashMap::new()
+}

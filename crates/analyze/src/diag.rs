@@ -1,0 +1,64 @@
+//! Diagnostic types shared by all lint passes.
+
+use std::fmt;
+
+/// Whether a diagnostic fails the check or only reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails `popt-analyze check` unless allowlisted.
+    Deny,
+    /// Reported but never fails the check (still allowlistable).
+    Warn,
+}
+
+/// One finding at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable lint name (kebab-case), e.g. `hot-path-panic`.
+    pub lint: &'static str,
+    /// Default severity of the lint.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation with the fix direction.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Deny => "error",
+            Severity::Warn => "warning",
+        };
+        write!(
+            f,
+            "{}:{}:{}: {tag}[{}]: {}",
+            self.path, self.line, self.col, self.lint, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_tool_style() {
+        let d = Diagnostic {
+            lint: "lossy-cast",
+            severity: Severity::Deny,
+            path: "crates/core/src/entry.rs".into(),
+            line: 92,
+            col: 15,
+            message: "narrowing `as u32` cast".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/core/src/entry.rs:92:15: error[lossy-cast]: narrowing `as u32` cast"
+        );
+    }
+}

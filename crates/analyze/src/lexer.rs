@@ -1,0 +1,403 @@
+//! A minimal Rust lexer: just enough tokenization for invariant linting.
+//!
+//! The build environment cannot fetch `syn`, and the lints in this crate
+//! are all expressible over a token stream plus brace matching, so the
+//! lexer handles exactly the lexical structure that could otherwise cause
+//! false positives: line/block comments (nested), string / raw-string /
+//! byte-string / char literals, lifetimes vs char literals, and numeric
+//! literals that sit next to `..` range punctuation.
+//!
+//! It deliberately does not build a syntax tree; passes in
+//! [`crate::lints`] work on [`Token`] slices with positional info.
+
+/// What a token is, at the granularity the lints need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `as`, `mod`, ...).
+    Ident(String),
+    /// A single punctuation character (`#`, `[`, `!`, `.`, ...).
+    Punct(char),
+    /// String, raw-string, byte-string, char, or numeric literal.
+    /// Contents are not retained; literals can never trigger a lint.
+    Literal,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and (for identifiers) text.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column (byte offset within the line).
+    pub col: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn eat_line_comment(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn eat_block_comment(&mut self) {
+        // Entered after consuming `/*`; block comments nest in Rust.
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn eat_string(&mut self) {
+        // Entered after consuming the opening `"`.
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    fn eat_raw_string(&mut self, hashes: usize) {
+        // Entered after consuming `r#*"`; ends at `"` followed by the same
+        // number of `#`s.
+        while let Some(b) = self.bump() {
+            if b == b'"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek() == Some(b'#') {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn eat_char_literal(&mut self) {
+        // Entered after consuming the opening `'` of a char literal.
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream, dropping comments and whitespace and
+/// collapsing every literal to [`TokenKind::Literal`].
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cursor = Cursor::new(src);
+    let mut tokens = Vec::new();
+    while let Some(b) = cursor.peek() {
+        let (line, col) = (cursor.line, cursor.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cursor.bump();
+            }
+            b'/' if cursor.peek_at(1) == Some(b'/') => cursor.eat_line_comment(),
+            b'/' if cursor.peek_at(1) == Some(b'*') => {
+                cursor.bump();
+                cursor.bump();
+                cursor.eat_block_comment();
+            }
+            b'"' => {
+                cursor.bump();
+                cursor.eat_string();
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`): a lifetime is a
+                // quote, an identifier run, and *no* closing quote.
+                let mut end = 1;
+                while cursor.peek_at(end).is_some_and(is_ident_continue) {
+                    end += 1;
+                }
+                let is_lifetime = end > 1
+                    && cursor.peek_at(1).is_some_and(is_ident_start)
+                    && cursor.peek_at(end) != Some(b'\'');
+                if is_lifetime {
+                    for _ in 0..end {
+                        cursor.bump();
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        line,
+                        col,
+                    });
+                } else {
+                    cursor.bump();
+                    cursor.eat_char_literal();
+                    tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        line,
+                        col,
+                    });
+                }
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(&cursor) => {
+                lex_raw_or_byte_literal(&mut cursor);
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                    col,
+                });
+            }
+            _ if is_ident_start(b) => {
+                let mut text = String::new();
+                while cursor.peek().is_some_and(is_ident_continue) {
+                    text.push(cursor.bump().unwrap_or(b'_') as char);
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text),
+                    line,
+                    col,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                lex_number(&mut cursor);
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                cursor.bump();
+                tokens.push(Token {
+                    kind: TokenKind::Punct(b as char),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    tokens
+}
+
+fn starts_raw_or_byte_literal(cursor: &Cursor<'_>) -> bool {
+    // r"...", r#"..."#, b"...", b'...', br"...", br#"..."#
+    let first = cursor.peek();
+    let mut offset = 1;
+    if first == Some(b'b') && cursor.peek_at(offset) == Some(b'r') {
+        offset += 1;
+    }
+    if first == Some(b'b') && offset == 1 && cursor.peek_at(offset) == Some(b'\'') {
+        return true;
+    }
+    while cursor.peek_at(offset) == Some(b'#') {
+        offset += 1;
+    }
+    cursor.peek_at(offset) == Some(b'"') && (first == Some(b'r') || first == Some(b'b'))
+}
+
+fn lex_raw_or_byte_literal(cursor: &mut Cursor<'_>) {
+    let first = cursor.bump();
+    if first == Some(b'b') && cursor.peek() == Some(b'\'') {
+        cursor.bump();
+        cursor.eat_char_literal();
+        return;
+    }
+    if first == Some(b'b') && cursor.peek() == Some(b'r') {
+        cursor.bump();
+    }
+    let mut hashes = 0;
+    while cursor.peek() == Some(b'#') {
+        cursor.bump();
+        hashes += 1;
+    }
+    if cursor.peek() == Some(b'"') {
+        cursor.bump();
+        if hashes == 0 && first == Some(b'b') {
+            cursor.eat_string();
+        } else if hashes == 0 {
+            cursor.eat_raw_string(0);
+        } else {
+            cursor.eat_raw_string(hashes);
+        }
+    }
+}
+
+fn lex_number(cursor: &mut Cursor<'_>) {
+    // Digits, underscores, suffix letters, hex digits; a `.` joins the
+    // number only when followed by a digit (so `0..n` stays three tokens).
+    while let Some(b) = cursor.peek() {
+        let joins = b.is_ascii_alphanumeric()
+            || b == b'_'
+            || (b == b'.' && cursor.peek_at(1).is_some_and(|n| n.is_ascii_digit()));
+        if !joins {
+            break;
+        }
+        cursor.bump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let src = r##"
+            // unwrap() in a comment
+            /* panic! in /* a nested */ block */
+            let s = "call .unwrap() here";
+            let r = r#"also panic!()"#;
+            let c = 'x';
+            real_ident();
+        "##;
+        assert_eq!(
+            idents(src),
+            vec!["let", "s", "let", "r", "let", "c", "real_ident"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'static str { x }");
+        let lifetimes = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+        assert!(toks.iter().any(|t| t.is_ident("str")));
+    }
+
+    #[test]
+    fn ranges_next_to_numbers_stay_separate() {
+        let toks = lex("for i in 0..256 {}");
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+        let lits = toks.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn float_literals_keep_their_dot() {
+        let toks = lex("let x = 3.25;");
+        let lits = toks.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(lits, 1);
+        assert!(!toks.iter().any(|t| t.is_punct('.')));
+    }
+
+    #[test]
+    fn positions_are_one_based_and_accurate() {
+        let toks = lex("a\n  bb(c)");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!((toks[2].line, toks[2].col), (2, 5));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_single_literals() {
+        let toks = lex(r##"let x = b"ab"; let y = br#"cd"#; let z = b'q';"##);
+        let lits = toks.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(lits, 3);
+    }
+}

@@ -1,0 +1,173 @@
+//! `popt-analyze`: a workspace static-analysis pass enforcing the
+//! P-OPT simulator's correctness invariants.
+//!
+//! The reproduction's numbers are only as good as the simulator's bit
+//! exactness: epoch-quantized next-reference counters are 4/8/16 bits
+//! wide (`EpochSize = ceil(V/256)`), so one unchecked narrowing cast or a
+//! panic swallowed inside a replacement decision silently corrupts every
+//! MPKI figure. This crate parses each `.rs` file in the workspace with a
+//! small token-level lexer (the build environment cannot fetch `syn`; see
+//! `vendor/`) and enforces deny-by-default lints with a checked-in
+//! allowlist, `analyze.toml`:
+//!
+//! * [`lints::panics`] — no `unwrap()`/`expect()`/`panic!`-family calls in
+//!   hot-path files; slice indexing there is reported as a warning.
+//! * [`lints::casts`] — no silent `as` narrowing of vertex/epoch/way
+//!   quantities in `popt-core`/`popt-sim`; use `popt_core::cast`.
+//! * [`lints::registry`] — every policy module is wired into
+//!   `PolicyKind` and the oracle test matrix iterates `PolicyKind::ALL`.
+//! * [`lints::determinism`] — no `HashMap`/`HashSet` in ordered-output
+//!   paths, no unseeded randomness outside `popt-graph::generators`.
+//!
+//! Run it as `cargo run -p popt-analyze -- check`; the same pass is a
+//! tier-1 test (`tests/static_analysis.rs`) and a CI gate.
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod regions;
+
+pub use config::{AllowEntry, Config, ConfigError};
+pub use diag::{Diagnostic, Severity};
+
+use lints::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned: build output, VCS state, the offline
+/// dependency shims (not workspace code), and this crate's lint fixtures
+/// (which contain violations on purpose).
+const SKIP_DIRS: &[&str] = &["target", ".git", "vendor", "fixtures"];
+
+/// The outcome of a full workspace check.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Deny-severity diagnostics not covered by the allowlist: the check
+    /// fails if any exist.
+    pub violations: Vec<Diagnostic>,
+    /// Warn-severity diagnostics not covered by the allowlist.
+    pub warnings: Vec<Diagnostic>,
+    /// Diagnostics suppressed by `analyze.toml`, with the entry's reason.
+    pub allowed: Vec<(Diagnostic, String)>,
+    /// Allowlist entries that matched nothing — stale entries fail the
+    /// check so the allowlist can only shrink over time.
+    pub unused_allows: Vec<AllowEntry>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the workspace passes the gate.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.unused_allows.is_empty()
+    }
+}
+
+/// Runs every lint over the workspace rooted at `root` with `config`,
+/// applying the allowlist.
+pub fn run_check(root: &Path, config: &Config) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    let mut diagnostics = Vec::new();
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    report.files_scanned = files.len();
+    for rel in &files {
+        let source = std::fs::read_to_string(root.join(rel))?;
+        let file = SourceFile::new(rel.clone(), &source);
+        diagnostics.extend(lints::panics::check(&file, config));
+        diagnostics.extend(lints::casts::check(&file, config));
+        diagnostics.extend(lints::determinism::check(&file, config));
+    }
+    diagnostics.extend(lints::registry::check(root, config));
+    diagnostics.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+
+    let mut used = vec![false; config.allow.len()];
+    for diag in diagnostics {
+        let matched = config.allow.iter().position(|a| {
+            a.lint == diag.lint
+                && a.path == diag.path
+                && a.line.map(|l| l == diag.line).unwrap_or(true)
+        });
+        match matched {
+            Some(i) => {
+                used[i] = true;
+                report.allowed.push((diag, config.allow[i].reason.clone()));
+            }
+            None => match diag.severity {
+                Severity::Deny => report.violations.push(diag),
+                Severity::Warn => report.warnings.push(diag),
+            },
+        }
+    }
+    report.unused_allows = config
+        .allow
+        .iter()
+        .zip(&used)
+        .filter(|&(_, &u)| !u)
+        .map(|(a, _)| a.clone())
+        .collect();
+    Ok(report)
+}
+
+/// Recursively collects workspace-relative `.rs` paths (forward-slash
+/// separated), skipping [`SKIP_DIRS`].
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel_path(root, &path));
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Locates the workspace root: walks up from `start` to the first
+/// directory whose `Cargo.toml` contains a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_paths_use_forward_slashes() {
+        let root = Path::new("/a/b");
+        assert_eq!(rel_path(root, Path::new("/a/b/c/d.rs")), "c/d.rs");
+    }
+
+    #[test]
+    fn workspace_root_is_found_from_nested_dirs() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("analyze.toml").exists() || root.join("crates").exists());
+    }
+}

@@ -1,0 +1,104 @@
+//! `lossy-cast`: no silent narrowing of vertex/epoch/way quantities.
+
+use super::SourceFile;
+use crate::config::Config;
+use crate::diag::{Diagnostic, Severity};
+
+/// Integer types small enough that casting *into* them can silently drop
+/// bits of a vertex id, epoch index, or way count. `usize`/`u64` targets
+/// are widening on every platform this simulator models and stay legal.
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Scans one file; flags `expr as <narrow-int>` in production code within
+/// the configured cast scope, excluding the checked-cast helper itself.
+pub fn check(file: &SourceFile, config: &Config) -> Vec<Diagnostic> {
+    let in_scope = config
+        .cast_scope
+        .iter()
+        .any(|dir| file.rel_path.starts_with(dir.as_str()));
+    if !in_scope || file.rel_path.ends_with("/cast.rs") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, tok) in file.tokens.iter().enumerate() {
+        if file.test_mask[i] || !tok.is_ident("as") {
+            continue;
+        }
+        let Some(target) = file.tokens.get(i + 1).and_then(|t| t.ident()) else {
+            continue;
+        };
+        if NARROW_TARGETS.contains(&target) {
+            out.push(Diagnostic {
+                lint: "lossy-cast",
+                severity: Severity::Deny,
+                path: file.rel_path.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "narrowing `as {target}` cast can silently truncate \
+                     (8-bit epoch counters wrap at 256); use \
+                     popt_core::cast::{{narrow, exact, saturate}} or TryFrom"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core_file(src: &str) -> SourceFile {
+        SourceFile::new("crates/core/src/entry.rs".into(), src)
+    }
+
+    #[test]
+    fn narrowing_casts_fire_with_positions() {
+        let f = core_file("fn f(x: usize) -> u16 { x as u16 }\nfn g(y: u64) -> u32 { y as u32 }");
+        let d = check(&f, &Config::default());
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].lint, "lossy-cast");
+        assert_eq!((d[0].line, d[1].line), (1, 2));
+    }
+
+    #[test]
+    fn widening_and_float_casts_are_legal() {
+        let f = core_file(
+            "fn f(x: u32) -> u64 { x as u64 }\n\
+             fn g(x: u32) -> usize { x as usize }\n\
+             fn h(x: usize) -> f64 { x as f64 }",
+        );
+        assert!(check(&f, &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn the_cast_helper_module_is_exempt() {
+        let f = SourceFile::new(
+            "crates/core/src/cast.rs".into(),
+            "fn imp(x: u64) -> u8 { x as u8 }",
+        );
+        assert!(check(&f, &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_not_scanned() {
+        let f = SourceFile::new(
+            "crates/graph/src/csr.rs".into(),
+            "fn f(x: u64) -> u32 { x as u32 }",
+        );
+        assert!(check(&f, &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = core_file("#[cfg(test)]\nmod tests { fn t(x: u64) -> u8 { x as u8 } }");
+        assert!(check(&f, &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn import_renames_are_not_casts() {
+        let f = core_file("use std::io::Result as IoResult;\nfn f() {}");
+        assert!(check(&f, &Config::default()).is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! `hot-path-panic` / `hot-path-index`: panic freedom in replacement and
+//! next-reference code.
+
+use super::SourceFile;
+use crate::config::Config;
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Scans one file; returns diagnostics for panic-capable constructs in
+/// production (non-test) code of configured hot-path files.
+pub fn check(file: &SourceFile, config: &Config) -> Vec<Diagnostic> {
+    if !file.matches_any(&config.hot_paths) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if file.test_mask[i] {
+            continue;
+        }
+        match &tok.kind {
+            TokenKind::Ident(name) if name == "unwrap" => {
+                let method_call = i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                    && toks.get(i + 2).is_some_and(|t| t.is_punct(')'));
+                if method_call {
+                    out.push(diag(
+                        file,
+                        tok.line,
+                        tok.col,
+                        "`.unwrap()` in a hot path; return the crate error type \
+                         (or restructure so the value is infallible)"
+                            .into(),
+                    ));
+                }
+            }
+            TokenKind::Ident(name) if name == "expect" => {
+                let method_call = i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+                if method_call {
+                    out.push(diag(
+                        file,
+                        tok.line,
+                        tok.col,
+                        "`.expect(..)` in a hot path; return the crate error type \
+                         (or restructure so the value is infallible)"
+                            .into(),
+                    ));
+                }
+            }
+            TokenKind::Ident(name)
+                if PANIC_MACROS.contains(&name.as_str())
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('!')) =>
+            {
+                out.push(diag(
+                    file,
+                    tok.line,
+                    tok.col,
+                    format!("`{name}!` in a hot path; fallible paths must return errors"),
+                ));
+            }
+            TokenKind::Punct('[') if i > 0 => {
+                let prev = &toks[i - 1];
+                let is_index = matches!(&prev.kind, TokenKind::Ident(_))
+                    || prev.is_punct(')')
+                    || prev.is_punct(']')
+                    || prev.is_punct('?');
+                // `ident [` straight after a `#` is an attribute, and
+                // `ident` in `mod x [` cannot occur; keywords that are
+                // followed by brackets in type position do not index.
+                let prev_is_keyword = prev
+                    .ident()
+                    .is_some_and(|s| matches!(s, "mut" | "ref" | "in" | "return" | "break"));
+                if is_index && !prev_is_keyword {
+                    out.push(Diagnostic {
+                        lint: "hot-path-index",
+                        severity: Severity::Warn,
+                        path: file.rel_path.clone(),
+                        line: tok.line,
+                        col: tok.col,
+                        message: "slice indexing in a hot path can panic; geometry \
+                                  indices must be bounds-asserted at construction"
+                            .into(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn diag(file: &SourceFile, line: u32, col: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        lint: "hot-path-panic",
+        severity: Severity::Deny,
+        path: file.rel_path.clone(),
+        line,
+        col,
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_file(src: &str) -> SourceFile {
+        SourceFile::new("crates/sim/src/cache.rs".into(), src)
+    }
+
+    fn cfg() -> Config {
+        Config::default()
+    }
+
+    #[test]
+    fn unwrap_expect_and_panic_macros_fire() {
+        let f = hot_file(
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+             fn g(x: Option<u32>) -> u32 { x.expect(\"msg\") }\n\
+             fn h() { panic!(\"boom\"); }\n\
+             fn i() { todo!() }",
+        );
+        let d = check(&f, &cfg());
+        assert_eq!(d.iter().filter(|d| d.lint == "hot-path-panic").count(), 4);
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[1].line, 2);
+    }
+
+    #[test]
+    fn unwrap_or_and_expect_err_are_not_flagged() {
+        let f = hot_file(
+            "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n\
+             fn g(x: Result<u32, u32>) -> u32 { x.unwrap_or_default() }",
+        );
+        assert!(check(&f, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn test_modules_inside_hot_files_are_exempt() {
+        let f = hot_file("#[cfg(test)]\nmod tests { fn t() { x.unwrap(); panic!(); } }");
+        assert!(check(&f, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn cold_files_are_not_scanned() {
+        let f = SourceFile::new(
+            "crates/graph/src/builder.rs".into(),
+            "fn f() { x.unwrap(); }",
+        );
+        assert!(check(&f, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn indexing_warns_but_attributes_and_literals_do_not() {
+        let f = hot_file(
+            "#[derive(Debug)]\nstruct S;\n\
+             fn f(v: &[u32], i: usize) -> u32 { v[i] }\n\
+             fn g() -> [u8; 2] { [1, 2] }",
+        );
+        let d = check(&f, &cfg());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].lint, "hot-path-index");
+        assert_eq!(d[0].severity, Severity::Warn);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let f = hot_file("fn f() { log(\"never .unwrap() here\"); } // x.unwrap()");
+        assert!(check(&f, &cfg()).is_empty());
+    }
+}

@@ -1,0 +1,373 @@
+//! `unregistered-policy` / `matrix-test-not-exhaustive`: the policy zoo
+//! is complete — every policy file is wired into the factory enum and the
+//! oracle test matrix iterates all of it.
+
+use crate::config::Config;
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Workspace-level pass: checks the policies directory against
+/// `policies/mod.rs` and the matrix test files. Returns nothing if the
+/// policies directory does not exist under `root` (the build itself
+/// fails loudly in that case).
+pub fn check(root: &Path, config: &Config) -> Vec<Diagnostic> {
+    let dir = root.join(&config.policies_dir);
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut stems = BTreeSet::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(stem) = name.strip_suffix(".rs") {
+            if stem != "mod" {
+                stems.insert(stem.to_string());
+            }
+        }
+    }
+    let mod_rel = format!("{}/mod.rs", config.policies_dir);
+    let Ok(mod_src) = std::fs::read_to_string(dir.join("mod.rs")) else {
+        out.push(registry_diag(
+            &mod_rel,
+            1,
+            "policies/mod.rs is missing".into(),
+        ));
+        return out;
+    };
+    let toks = lex(&mod_src);
+
+    // Declared modules: `mod <stem> ;`
+    let declared: BTreeSet<String> = toks
+        .windows(3)
+        .filter(|w| w[0].is_ident("mod") && w[2].is_punct(';'))
+        .filter_map(|w| w[1].ident().map(String::from))
+        .collect();
+    // Re-exports: `use <stem> ::`
+    let reexported: BTreeSet<String> = toks
+        .windows(4)
+        .filter(|w| w[0].is_ident("use") && w[2].is_punct(':') && w[3].is_punct(':'))
+        .filter_map(|w| w[1].ident().map(String::from))
+        .collect();
+    for stem in &stems {
+        let rel = format!("{}/{stem}.rs", config.policies_dir);
+        if !declared.contains(stem) {
+            out.push(registry_diag(
+                &rel,
+                1,
+                format!(
+                    "policy module `{stem}` exists but has no `mod {stem};` in policies/mod.rs"
+                ),
+            ));
+        } else if !reexported.contains(stem) {
+            out.push(registry_diag(
+                &rel,
+                1,
+                format!(
+                    "policy module `{stem}` is declared but its policy type is not \
+                     re-exported (`pub use {stem}::...`) from policies/mod.rs"
+                ),
+            ));
+        }
+    }
+
+    // PolicyKind variants vs the ALL matrix array and the factory arms.
+    let variants = enum_variants(&toks, "PolicyKind");
+    if let Some((variants, enum_line)) = variants {
+        let all = const_all_entries(&toks, "PolicyKind");
+        match all {
+            Some(all) => {
+                for v in &variants {
+                    if !all.contains(v) {
+                        out.push(registry_diag(
+                            &mod_rel,
+                            enum_line,
+                            format!(
+                                "PolicyKind::{v} is missing from PolicyKind::ALL: the \
+                                 oracle test matrix will silently skip it"
+                            ),
+                        ));
+                    }
+                }
+            }
+            None => out.push(registry_diag(
+                &mod_rel,
+                enum_line,
+                "cannot locate the `ALL` array of PolicyKind".into(),
+            )),
+        }
+        for method in ["label", "build"] {
+            if let Some(body) = fn_body_idents(&toks, method) {
+                for v in &variants {
+                    if !body.contains(v) {
+                        out.push(registry_diag(
+                            &mod_rel,
+                            enum_line,
+                            format!("PolicyKind::{v} is not handled in `{method}()`"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // The oracle/fuzz matrix must iterate PolicyKind::ALL.
+    for test_rel in &config.matrix_tests {
+        let Ok(src) = std::fs::read_to_string(root.join(test_rel)) else {
+            out.push(Diagnostic {
+                lint: "matrix-test-not-exhaustive",
+                severity: Severity::Deny,
+                path: test_rel.clone(),
+                line: 1,
+                col: 1,
+                message: "matrix test file is missing".into(),
+            });
+            continue;
+        };
+        let ttoks = lex(&src);
+        let iterates_all = ttoks.windows(4).any(|w| {
+            w[0].is_ident("PolicyKind")
+                && w[1].is_punct(':')
+                && w[2].is_punct(':')
+                && w[3].is_ident("ALL")
+        });
+        if !iterates_all {
+            out.push(Diagnostic {
+                lint: "matrix-test-not-exhaustive",
+                severity: Severity::Deny,
+                path: test_rel.clone(),
+                line: 1,
+                col: 1,
+                message: "matrix test does not iterate PolicyKind::ALL; newly \
+                          registered policies would be silently unexercised"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+fn registry_diag(path: &str, line: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        lint: "unregistered-policy",
+        severity: Severity::Deny,
+        path: path.to_string(),
+        line,
+        col: 1,
+        message,
+    }
+}
+
+/// Variant names of `enum <name> { ... }` plus the enum's line, if found.
+fn enum_variants(toks: &[Token], name: &str) -> Option<(BTreeSet<String>, u32)> {
+    let pos = toks
+        .windows(2)
+        .position(|w| w[0].is_ident("enum") && w[1].is_ident(name))?;
+    let open = (pos + 2..toks.len()).find(|&i| toks[i].is_punct('{'))?;
+    let mut braces = 0usize;
+    let mut round = 0usize;
+    let mut square = 0usize;
+    let mut variants = BTreeSet::new();
+    for i in open..toks.len() {
+        match toks[i].kind {
+            TokenKind::Punct('{') => braces += 1,
+            TokenKind::Punct('}') => {
+                braces -= 1;
+                if braces == 0 {
+                    break;
+                }
+            }
+            TokenKind::Punct('(') => round += 1,
+            TokenKind::Punct(')') => round -= 1,
+            TokenKind::Punct('[') => square += 1,
+            TokenKind::Punct(']') => square -= 1,
+            TokenKind::Ident(_) if braces == 1 && round == 0 && square == 0 => {
+                let next = toks.get(i + 1);
+                if next.is_some_and(|t| t.is_punct(',') || t.is_punct('}')) {
+                    if let Some(id) = toks[i].ident() {
+                        variants.insert(id.to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Some((variants, toks[pos].line))
+}
+
+/// The `<enum>::X` names inside `ALL = [ ... ]`.
+fn const_all_entries(toks: &[Token], enum_name: &str) -> Option<BTreeSet<String>> {
+    let pos = toks.iter().position(|t| t.is_ident("ALL"))?;
+    let eq = (pos..toks.len()).find(|&i| toks[i].is_punct('='))?;
+    let open = (eq..toks.len()).find(|&i| toks[i].is_punct('['))?;
+    let mut depth = 0usize;
+    let mut entries = BTreeSet::new();
+    for i in open..toks.len() {
+        if toks[i].is_punct('[') {
+            depth += 1;
+        } else if toks[i].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if toks[i].is_ident(enum_name)
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            if let Some(id) = toks.get(i + 3).and_then(Token::ident) {
+                entries.insert(id.to_string());
+            }
+        }
+    }
+    Some(entries)
+}
+
+/// All identifiers inside the body of `fn <name>`.
+fn fn_body_idents(toks: &[Token], name: &str) -> Option<BTreeSet<String>> {
+    let pos = toks
+        .windows(2)
+        .position(|w| w[0].is_ident("fn") && w[1].is_ident(name))?;
+    let open = (pos..toks.len()).find(|&i| toks[i].is_punct('{'))?;
+    let mut depth = 0usize;
+    let mut idents = BTreeSet::new();
+    for tok in &toks[open..] {
+        if tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if let Some(id) = tok.ident() {
+            idents.insert(id.to_string());
+        }
+    }
+    Some(idents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(dir: &Path, rel: &str, content: &str) {
+        let path = dir.join(rel);
+        std::fs::create_dir_all(path.parent().expect("has parent")).expect("mkdir");
+        std::fs::write(path, content).expect("write");
+    }
+
+    fn temp_root(tag: &str) -> std::path::PathBuf {
+        // Scratch space inside the workspace target dir (the test
+        // environment must not write outside the repository).
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/popt-analyze-test-scratch")
+            .join(tag);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    const GOOD_MOD: &str = r#"
+mod lru;
+pub use lru::Lru;
+pub enum PolicyKind { Lru, Random }
+impl PolicyKind {
+    pub const ALL: [PolicyKind; 2] = [PolicyKind::Lru, PolicyKind::Random];
+    pub fn label(&self) -> &'static str {
+        match self { PolicyKind::Lru => "LRU", PolicyKind::Random => "Random" }
+    }
+    pub fn build(&self) -> u32 {
+        match self { PolicyKind::Lru => 0, PolicyKind::Random => 1 }
+    }
+}
+"#;
+
+    #[test]
+    fn complete_registry_is_clean() {
+        let root = temp_root("clean");
+        write(&root, "policies/mod.rs", GOOD_MOD);
+        write(&root, "policies/lru.rs", "pub struct Lru;");
+        write(
+            &root,
+            "tests/fuzz.rs",
+            "fn t() { for k in PolicyKind::ALL {} }",
+        );
+        let cfg = Config {
+            policies_dir: "policies".into(),
+            matrix_tests: vec!["tests/fuzz.rs".into()],
+            ..Config::default()
+        };
+        assert_eq!(check(&root, &cfg), Vec::new());
+    }
+
+    #[test]
+    fn orphan_policy_file_fires() {
+        let root = temp_root("orphan");
+        write(&root, "policies/mod.rs", GOOD_MOD);
+        write(&root, "policies/lru.rs", "pub struct Lru;");
+        write(&root, "policies/shiny.rs", "pub struct Shiny;");
+        write(
+            &root,
+            "tests/fuzz.rs",
+            "fn t() { for k in PolicyKind::ALL {} }",
+        );
+        let cfg = Config {
+            policies_dir: "policies".into(),
+            matrix_tests: vec!["tests/fuzz.rs".into()],
+            ..Config::default()
+        };
+        let d = check(&root, &cfg);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].lint, "unregistered-policy");
+        assert!(d[0].message.contains("shiny"), "{}", d[0].message);
+        assert_eq!(d[0].path, "policies/shiny.rs");
+    }
+
+    #[test]
+    fn variant_missing_from_all_fires() {
+        let root = temp_root("missing-all");
+        let bad = GOOD_MOD.replace(
+            "pub const ALL: [PolicyKind; 2] = [PolicyKind::Lru, PolicyKind::Random];",
+            "pub const ALL: [PolicyKind; 1] = [PolicyKind::Lru];",
+        );
+        write(&root, "policies/mod.rs", &bad);
+        write(&root, "policies/lru.rs", "pub struct Lru;");
+        write(
+            &root,
+            "tests/fuzz.rs",
+            "fn t() { for k in PolicyKind::ALL {} }",
+        );
+        let cfg = Config {
+            policies_dir: "policies".into(),
+            matrix_tests: vec!["tests/fuzz.rs".into()],
+            ..Config::default()
+        };
+        let d = check(&root, &cfg);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("Random"), "{}", d[0].message);
+        assert!(d[0].message.contains("ALL"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn matrix_test_must_iterate_all() {
+        let root = temp_root("matrix");
+        write(&root, "policies/mod.rs", GOOD_MOD);
+        write(&root, "policies/lru.rs", "pub struct Lru;");
+        write(&root, "tests/fuzz.rs", "fn t() { run(PolicyKind::Lru); }");
+        let cfg = Config {
+            policies_dir: "policies".into(),
+            matrix_tests: vec!["tests/fuzz.rs".into()],
+            ..Config::default()
+        };
+        let d = check(&root, &cfg);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].lint, "matrix-test-not-exhaustive");
+    }
+
+    #[test]
+    fn derive_attributes_are_not_variants() {
+        let toks = lex("#[derive(Debug, Clone, Copy)]\npub enum PolicyKind { OnlyOne }");
+        let (variants, _) = enum_variants(&toks, "PolicyKind").expect("found");
+        assert_eq!(variants.into_iter().collect::<Vec<_>>(), vec!["OnlyOne"]);
+    }
+}

@@ -1,0 +1,113 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p popt-analyze -- check            # gate the workspace
+//! cargo run -p popt-analyze -- check --root X   # gate another tree
+//! cargo run -p popt-analyze -- lints            # document every lint
+//! ```
+
+use popt_analyze::{find_workspace_root, lints::LINTS, Config, Severity};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => run_check(&args[1..]),
+        Some("lints") => {
+            print_lints();
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: popt-analyze <check [--root DIR] | lints>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => match iter.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("cannot locate a workspace root above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let config = match Config::load(&root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match popt_analyze::run_check(&root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("i/o error while scanning: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for d in &report.warnings {
+        println!("{d}");
+    }
+    for d in &report.violations {
+        println!("{d}");
+    }
+    for entry in &report.unused_allows {
+        println!(
+            "analyze.toml: error[stale-allow]: entry (lint={}, path={}) matched nothing; \
+             remove it",
+            entry.lint, entry.path
+        );
+    }
+    println!(
+        "popt-analyze: {} files scanned, {} violations, {} warnings, \
+         {} allowlisted, {} stale allowlist entries",
+        report.files_scanned,
+        report.violations.len(),
+        report.warnings.len(),
+        report.allowed.len(),
+        report.unused_allows.len(),
+    );
+    if report.is_clean() {
+        println!("popt-analyze: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("popt-analyze: FAIL");
+        ExitCode::FAILURE
+    }
+}
+
+fn print_lints() {
+    for lint in LINTS {
+        let severity = match lint.severity {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        };
+        println!("{} [{severity}]", lint.name);
+        println!("    {}\n", lint.rationale);
+    }
+}

@@ -1,0 +1,150 @@
+//! Test-region detection over token streams.
+//!
+//! Invariant lints apply to production code only: `#[cfg(test)]` modules
+//! and `#[test]`/`#[bench]` functions are exempt (an `unwrap()` in a unit
+//! test is the idiom, not a correctness hazard). This pass marks the token
+//! ranges of such items so every lint can skip them.
+
+use crate::lexer::Token;
+
+/// Returns a mask parallel to `tokens`: `true` where the token lies inside
+/// test-only code.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let attr_end = match matching_bracket(tokens, i + 1, '[', ']') {
+                Some(e) => e,
+                None => break,
+            };
+            if attr_is_test_only(&tokens[i + 2..attr_end]) {
+                if let Some((start, end)) = item_body_after(tokens, attr_end + 1) {
+                    for flag in mask.iter_mut().take(end + 1).skip(start) {
+                        *flag = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// True for `#[cfg(test)]` (or any `cfg(...)` mentioning `test`),
+/// `#[test]`, and `#[bench]` attribute bodies.
+fn attr_is_test_only(attr: &[Token]) -> bool {
+    let first = attr.first().and_then(Token::ident);
+    match first {
+        Some("cfg") => attr.iter().any(|t| t.is_ident("test")),
+        Some("test") | Some("bench") => attr.len() == 1,
+        _ => false,
+    }
+}
+
+/// Finds the `{ ... }` body of the item that starts at `from` (after its
+/// attributes), returning the token index range of the braces inclusive.
+fn item_body_after(tokens: &[Token], from: usize) -> Option<(usize, usize)> {
+    let mut i = from;
+    // Skip any further attributes (`#[...]`) and doc attrs between the
+    // test attribute and the item keyword.
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            i = matching_bracket(tokens, i + 1, '[', ']')? + 1;
+        } else {
+            break;
+        }
+    }
+    // Walk to the opening brace of the item body. Statement-ending `;`
+    // first (e.g. `#[cfg(test)] mod tests;`) means an out-of-line body
+    // in another file — nothing to mark here.
+    while i < tokens.len() {
+        if tokens[i].is_punct('{') {
+            let end = matching_bracket(tokens, i, '{', '}')?;
+            return Some((i, end));
+        }
+        if tokens[i].is_punct(';') {
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the bracket matching `tokens[open]`.
+fn matching_bracket(tokens: &[Token], open: usize, open_c: char, close_c: char) -> Option<usize> {
+    debug_assert!(tokens[open].is_punct(open_c));
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(open_c) {
+            depth += 1;
+        } else if t.is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn masked_idents(src: &str) -> Vec<(String, bool)> {
+        let tokens = lex(src);
+        let mask = test_mask(&tokens);
+        tokens
+            .iter()
+            .zip(&mask)
+            .filter_map(|(t, &m)| t.ident().map(|s| (s.to_string(), m)))
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_modules_are_masked() {
+        let src = "fn prod() { work(); }\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }";
+        let pairs = masked_idents(src);
+        assert!(pairs.contains(&("work".into(), false)));
+        assert!(pairs.contains(&("unwrap".into(), true)));
+    }
+
+    #[test]
+    fn test_fns_are_masked_but_neighbors_are_not() {
+        let src = "#[test]\nfn t() { a.unwrap(); }\nfn prod() { b.unwrap(); }";
+        let pairs = masked_idents(src);
+        let unwraps: Vec<bool> = pairs
+            .iter()
+            .filter(|(s, _)| s == "unwrap")
+            .map(|&(_, m)| m)
+            .collect();
+        assert_eq!(unwraps, vec![true, false]);
+    }
+
+    #[test]
+    fn cfg_all_test_combinations_are_masked() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod tests { fn t() { y.unwrap(); } }";
+        let pairs = masked_idents(src);
+        assert!(pairs.contains(&("unwrap".into(), true)));
+    }
+
+    #[test]
+    fn non_test_attributes_do_not_mask() {
+        let src = "#[derive(Debug)]\nstruct S { x: u32 }\nfn f() { s.unwrap(); }";
+        let pairs = masked_idents(src);
+        assert!(pairs.contains(&("unwrap".into(), false)));
+    }
+
+    #[test]
+    fn out_of_line_test_module_masks_nothing() {
+        let src = "#[cfg(test)]\nmod tests;\nfn prod() { x.unwrap(); }";
+        let pairs = masked_idents(src);
+        assert!(pairs.contains(&("unwrap".into(), false)));
+    }
+}

@@ -1,0 +1,105 @@
+//! End-to-end fixture tests: the checker must fire on the violation
+//! fixtures (positive) and stay silent on the compliant ones (negative).
+
+use popt_analyze::{run_check, Config, Severity};
+use std::path::PathBuf;
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn lint_counts(report: &popt_analyze::Report) -> Vec<(String, usize)> {
+    let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+    for d in report.violations.iter().chain(&report.warnings) {
+        *counts.entry(d.lint).or_default() += 1;
+    }
+    counts
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+}
+
+#[test]
+fn violation_fixtures_fire_every_lint() {
+    let report = run_check(&fixture_root("violations"), &Config::default()).expect("scan");
+    assert!(!report.is_clean(), "violation fixtures must fail the check");
+    let counts = lint_counts(&report);
+    let count = |lint: &str| {
+        counts
+            .iter()
+            .find(|(k, _)| k == lint)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    assert_eq!(count("hot-path-panic"), 4, "unwrap/panic!/expect/todo!");
+    assert_eq!(count("hot-path-index"), 1);
+    assert_eq!(count("lossy-cast"), 2, "widening and cast.rs must not fire");
+    assert_eq!(
+        count("hashmap-in-ordered-path"),
+        3,
+        "use decl, return type, and constructor each fire"
+    );
+    assert_eq!(count("unseeded-rng"), 1);
+}
+
+#[test]
+fn violation_severities_split_deny_from_warn() {
+    let report = run_check(&fixture_root("violations"), &Config::default()).expect("scan");
+    assert!(report
+        .violations
+        .iter()
+        .all(|d| d.severity == Severity::Deny));
+    assert!(report.warnings.iter().all(|d| d.severity == Severity::Warn));
+    assert!(report.warnings.iter().all(|d| d.lint == "hot-path-index"));
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let report = run_check(&fixture_root("clean"), &Config::default()).expect("scan");
+    assert!(
+        report.is_clean() && report.warnings.is_empty(),
+        "clean fixture must produce no diagnostics, got: {:?} {:?}",
+        report.violations,
+        report.warnings
+    );
+    assert!(report.files_scanned >= 1);
+}
+
+#[test]
+fn allowlist_suppresses_and_stale_entries_fail() {
+    // Suppress one fixture violation; add one entry that matches nothing.
+    let toml = r#"
+[[allow]]
+lint = "unseeded-rng"
+path = "crates/trace/src/stats.rs"
+reason = "fixture exercise"
+
+[[allow]]
+lint = "lossy-cast"
+path = "crates/does/not/exist.rs"
+reason = "stale on purpose"
+"#;
+    let config = Config::parse(toml).expect("parses");
+    let report = run_check(&fixture_root("violations"), &config).expect("scan");
+    assert_eq!(report.allowed.len(), 1);
+    assert!(report.violations.iter().all(|d| d.lint != "unseeded-rng"));
+    assert_eq!(report.unused_allows.len(), 1);
+    assert_eq!(report.unused_allows[0].path, "crates/does/not/exist.rs");
+}
+
+#[test]
+fn fixtures_are_invisible_to_a_workspace_scan() {
+    // The real workspace check must not pick up the violation fixtures:
+    // `fixtures/` is a skipped directory.
+    let root = popt_analyze::find_workspace_root(&PathBuf::from(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let config = Config::load(&root).expect("config");
+    let report = run_check(&root, &config).expect("scan");
+    assert!(report
+        .violations
+        .iter()
+        .chain(&report.warnings)
+        .all(|d| !d.path.contains("fixtures/")));
+}

@@ -25,7 +25,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             "T-OPT (ideal)",
         ],
     );
-    let mut means = vec![Vec::new(), Vec::new(), Vec::new()];
+    let mut means = [Vec::new(), Vec::new(), Vec::new()];
     for (name, g) in suite(scale) {
         let drrip = simulate(
             App::Pagerank,

@@ -162,6 +162,6 @@ mod tests {
     fn formatters() {
         assert_eq!(pct(0.123), "12.3%");
         assert_eq!(speedup(1.234), "1.23x");
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f2(4.31459), "4.31");
     }
 }

@@ -116,12 +116,14 @@ impl TieBreaker {
         self.rrpv[set * self.ways + way] = TIE_RRPV_MAX - 1;
     }
 
-    /// Picks the loser among `candidates` (must be non-empty).
+    /// Picks the loser among `candidates`; way 0 if `candidates` is empty
+    /// (callers always pass at least one way).
     pub(crate) fn break_tie(&self, set: usize, candidates: &[usize]) -> usize {
-        *candidates
+        candidates
             .iter()
-            .max_by_key(|&&w| self.rrpv[set * self.ways + w])
-            .expect("tie break needs at least one candidate")
+            .copied()
+            .max_by_key(|&w| self.rrpv[set * self.ways + w])
+            .unwrap_or(0)
     }
 }
 

@@ -1,3 +1,4 @@
+use crate::cast;
 use crate::Quantization;
 
 /// Rereference Matrix entry encoding (paper Sections IV-A, IV-B, VII-B).
@@ -89,8 +90,8 @@ impl RawEntry {
     /// is `distance` epochs ahead (`None` = never again). Distances
     /// saturate at the encoding's sentinel.
     pub fn absent(distance: Option<u32>, quant: Quantization, enc: Encoding) -> RawEntry {
-        let max = enc.max_distance(quant) as u32;
-        let d = distance.unwrap_or(max).min(max) as u16;
+        let max = u32::from(enc.max_distance(quant));
+        let d = cast::exact::<u16, u32>(distance.unwrap_or(max).min(max));
         match enc {
             Encoding::InterOnly => RawEntry(d),
             Encoding::InterIntra => {
@@ -119,11 +120,13 @@ impl RawEntry {
         match enc {
             Encoding::InterOnly => RawEntry(0),
             Encoding::InterIntra => {
-                let sub = (last_sub_epoch as u16).min(enc.max_distance(quant));
+                // Clamp in u32 *before* narrowing: casting first would wrap
+                // sub-epochs ≥ 2^16 instead of saturating them.
+                let sub = cast::saturate::<u16, u32>(last_sub_epoch).min(enc.max_distance(quant));
                 RawEntry(sub)
             }
             Encoding::SingleEpoch => {
-                let sub = (last_sub_epoch as u16).min(enc.max_distance(quant));
+                let sub = cast::saturate::<u16, u32>(last_sub_epoch).min(enc.max_distance(quant));
                 let next_bit = if accessed_next_epoch {
                     1u16 << (quant.bits() - 2)
                 } else {
@@ -157,7 +160,7 @@ impl RawEntry {
     /// Final-access sub-epoch for a present entry (Algorithm 2 line 8).
     pub fn last_sub_epoch(&self, quant: Quantization, enc: Encoding) -> u32 {
         debug_assert!(self.is_present(quant, enc));
-        (self.0 & ((1 << enc.payload_bits(quant)) - 1)) as u32
+        u32::from(self.0 & ((1 << enc.payload_bits(quant)) - 1))
     }
 
     /// P-OPT-SE's "accessed in next epoch" flag.

@@ -1,3 +1,4 @@
+use crate::cast;
 use popt_graph::VertexId;
 
 /// Epoch quantization of the outer-loop vertex space (paper Section IV-A).
@@ -74,12 +75,14 @@ impl Quantization {
     /// Number of sub-epochs an epoch is divided into ("the maximum value
     /// representable with the remaining lower bits", Section IV-B).
     pub fn num_sub_epochs(&self) -> u32 {
-        self.max_payload() as u32
+        u32::from(self.max_payload())
     }
 
     /// Vertices per epoch for a traversal over `num_vertices`.
     pub fn epoch_size(&self, num_vertices: usize) -> u32 {
-        (num_vertices.div_ceil(self.num_epochs()) as u32).max(1)
+        // Vertex counts are bounded by the 32-bit VertexId space
+        // (GraphError::TooManyVertices), so the quotient always fits.
+        cast::exact::<u32, usize>(num_vertices.div_ceil(self.num_epochs())).max(1)
     }
 
     /// Vertices per sub-epoch.

@@ -42,6 +42,8 @@
 //! # Ok::<(), popt_graph::GraphError>(())
 //! ```
 
+pub use popt_graph::cast;
+
 mod engine;
 mod entry;
 mod epoch;

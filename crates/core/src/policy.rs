@@ -20,6 +20,7 @@
 //!   RRIP-state fallback (the paper uses DRRIP) and counted for the
 //!   Figure 15 tie-rate analysis.
 
+use crate::cast;
 use crate::engine::{NextRefEngine, TieBreaker, WayClass};
 use crate::RerefMatrix;
 use popt_graph::VertexId;
@@ -238,7 +239,8 @@ impl ReplacementPolicy for Popt {
                 // "On resumption, P-OPT invokes the streaming engine to
                 // refetch Rereference Matrix contents into reserved LLC
                 // ways" (Section V-F): both resident columns per stream.
-                self.charge_columns(self.streams[0].matrix.encoding().resident_columns() as u32);
+                let resident = self.streams[0].matrix.encoding().resident_columns();
+                self.charge_columns(cast::exact::<u32, usize>(resident));
             }
         }
     }

@@ -1,3 +1,4 @@
+use crate::cast;
 use crate::{Encoding, Quantization, RawEntry, INFINITE_DISTANCE};
 use popt_graph::{Csr, VertexId};
 
@@ -244,13 +245,14 @@ impl RerefMatrix {
     /// [`INFINITE_DISTANCE`] when the entry's ∞ sentinel is hit.
     pub fn next_ref(&self, line: usize, current_vertex: VertexId) -> u32 {
         let (quant, enc) = (self.quant, self.encoding);
-        let epoch = (current_vertex / self.epoch_size) as usize;
+        let epoch_idx = current_vertex / self.epoch_size;
+        let epoch = epoch_idx as usize;
         let curr = self.entry(line, epoch);
         let lift = |raw: u16| -> u32 {
             if raw >= enc.max_distance(quant) {
                 INFINITE_DISTANCE
             } else {
-                raw as u32
+                u32::from(raw)
             }
         };
         if !curr.is_present(quant, enc) {
@@ -258,7 +260,7 @@ impl RerefMatrix {
             return lift(curr.distance(quant, enc));
         }
         // Lines 8-12: referenced this epoch; are we past the final access?
-        let epoch_offset = current_vertex - epoch as u32 * self.epoch_size;
+        let epoch_offset = current_vertex - epoch_idx * self.epoch_size;
         let curr_sub = (epoch_offset / self.sub_epoch_size).min(self.num_sub_epochs - 1);
         match enc {
             Encoding::InterOnly => 0, // no intra-epoch state: always "now"
@@ -411,8 +413,9 @@ pub(crate) fn fill_row(
     // `present[e]` holds Some(last_sub) after the scan.
     let mut last_sub: Vec<Option<u32>> = vec![None; num_epochs];
     for &r in refs {
-        let e = (r / epoch_size) as usize;
-        let sub = ((r - e as u32 * epoch_size) / sub_epoch_size).min(num_sub_epochs - 1);
+        let epoch_idx = r / epoch_size;
+        let e = epoch_idx as usize;
+        let sub = ((r - epoch_idx * epoch_size) / sub_epoch_size).min(num_sub_epochs - 1);
         last_sub[e] = Some(match last_sub[e] {
             Some(prev) => prev.max(sub),
             None => sub,
@@ -429,7 +432,8 @@ pub(crate) fn fill_row(
                 entry.0
             }
             None => {
-                let distance = next_ref_epoch.map(|n| (n - e) as u32);
+                // Epoch indices fit u32 by construction (≤ 2^quant.bits()).
+                let distance = next_ref_epoch.map(|n| cast::exact::<u32, usize>(n - e));
                 RawEntry::absent(distance, quant, encoding).0
             }
         };

@@ -7,6 +7,7 @@
 //! amortization a concrete form: build once with `graphgen`, persist, and
 //! load for any number of simulation runs.
 
+use crate::cast;
 use crate::{Encoding, Quantization, RerefMatrix};
 use std::io::{BufReader, BufWriter, Read, Write};
 
@@ -137,11 +138,17 @@ pub fn read_matrix<R: Read>(reader: R) -> Result<RerefMatrix, MatrixFileError> {
     if vpl == 0 || first % vpl != 0 || first + covered > outer.max(first + covered) {
         return Err(MatrixFileError::Format("inconsistent geometry".into()));
     }
+    // Header fields are untrusted input: reject rather than wrap values
+    // beyond the 32-bit vertex space.
+    let first = cast::narrow::<u32, u64>(first)
+        .map_err(|e| MatrixFileError::Format(format!("first vertex: {e}")))?;
+    let vpl = cast::narrow::<u32, u64>(vpl)
+        .map_err(|e| MatrixFileError::Format(format!("vertices per line: {e}")))?;
     let mut matrix = RerefMatrix::empty_shell_range(
         outer as usize,
-        first as u32,
+        first,
         covered as usize,
-        vpl as u32,
+        vpl,
         quant,
         encoding,
     );

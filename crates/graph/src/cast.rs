@@ -1,0 +1,156 @@
+//! Checked narrowing casts for vertex/epoch/way quantities.
+//!
+//! P-OPT stores next-reference information in 4/8/16-bit counters
+//! (`EpochSize = ceil(V/256)`), so a silent `as`-truncation wraps at the
+//! counter width and corrupts replacement decisions without failing any
+//! test. The `lossy-cast` lint (`popt-analyze`) forbids bare narrowing
+//! `as` casts in `popt-core`/`popt-sim`; this module is the sanctioned
+//! alternative, with three explicit semantics:
+//!
+//! * [`narrow`] — fallible, for paths that return errors;
+//! * [`exact`] — infallible by invariant, panics loudly (never wraps) if
+//!   the invariant is broken;
+//! * [`saturate`] — clamps to the destination maximum, for quantities
+//!   whose encoding defines saturation (epoch distances saturate at the
+//!   sentinel rather than wrapping).
+//!
+//! Re-exported as `popt_core::cast` for the replacement-policy stack.
+
+use std::any::type_name;
+use std::fmt;
+
+/// A value did not fit the destination type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CastError {
+    /// The offending value, stringified.
+    pub value: String,
+    /// Destination type name.
+    pub target: &'static str,
+}
+
+impl fmt::Display for CastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "value {} does not fit in {}", self.value, self.target)
+    }
+}
+
+impl std::error::Error for CastError {}
+
+/// Fallible narrowing: converts or reports which value overflowed what.
+#[inline]
+pub fn narrow<Dst, Src>(value: Src) -> Result<Dst, CastError>
+where
+    Dst: TryFrom<Src>,
+    Src: Copy + fmt::Display,
+{
+    Dst::try_from(value).map_err(|_| CastError {
+        value: value.to_string(),
+        target: type_name::<Dst>(),
+    })
+}
+
+/// Narrowing that an invariant makes infallible (e.g. a value already
+/// clamped below the destination maximum, or a vertex count guarded by
+/// `GraphError::TooManyVertices`). Panics with the value and destination
+/// type if the invariant is broken — a loud failure where a bare `as`
+/// would silently wrap.
+#[inline]
+#[track_caller]
+pub fn exact<Dst, Src>(value: Src) -> Dst
+where
+    Dst: TryFrom<Src>,
+    Src: Copy + fmt::Display,
+{
+    match Dst::try_from(value) {
+        Ok(v) => v,
+        Err(_) => panic!(
+            "lossy cast: value {value} does not fit in {}",
+            type_name::<Dst>()
+        ),
+    }
+}
+
+/// Integer pairs for which clamping to the destination maximum is a
+/// meaningful conversion.
+pub trait SaturatingCast<Dst> {
+    /// Converts, clamping to `Dst::MAX`.
+    fn saturating_cast(self) -> Dst;
+}
+
+macro_rules! impl_saturating {
+    ($src:ty => $($dst:ty),*) => {$(
+        impl SaturatingCast<$dst> for $src {
+            #[inline]
+            fn saturating_cast(self) -> $dst {
+                // Inside the checked-cast helper, the bare `as` is the
+                // implementation primitive; the comparison makes it exact.
+                if self > <$dst>::MAX as $src {
+                    <$dst>::MAX
+                } else {
+                    self as $dst
+                }
+            }
+        }
+    )*};
+}
+
+impl_saturating!(u16 => u8);
+impl_saturating!(u32 => u8, u16);
+impl_saturating!(u64 => u8, u16, u32);
+impl_saturating!(usize => u8, u16, u32);
+
+/// Clamping narrow: values beyond `Dst::MAX` become `Dst::MAX`. This is
+/// the conversion the paper's encodings define for distances beyond the
+/// representable horizon (saturate at the ∞ sentinel, never wrap).
+#[inline]
+pub fn saturate<Dst, Src: SaturatingCast<Dst>>(value: Src) -> Dst {
+    value.saturating_cast()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_round_trips_in_range_values() {
+        assert_eq!(narrow::<u8, u32>(255), Ok(255u8));
+        assert_eq!(narrow::<u16, usize>(65_535), Ok(65_535u16));
+    }
+
+    #[test]
+    fn narrow_reports_value_and_target() {
+        let err = narrow::<u8, u32>(256).expect_err("overflows");
+        assert_eq!(err.value, "256");
+        assert!(err.target.ends_with("u8"));
+        assert!(err.to_string().contains("256"));
+    }
+
+    #[test]
+    fn exact_passes_in_range_values() {
+        let v: u16 = exact(1000u32);
+        assert_eq!(v, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "lossy cast")]
+    fn exact_panics_instead_of_wrapping() {
+        let _: u8 = exact(256u32);
+    }
+
+    #[test]
+    fn saturate_clamps_at_destination_max() {
+        assert_eq!(saturate::<u8, u32>(255), 255);
+        assert_eq!(saturate::<u8, u32>(256), 255);
+        assert_eq!(saturate::<u16, u64>(1 << 40), u16::MAX);
+        assert_eq!(saturate::<u32, usize>(7), 7);
+    }
+
+    #[test]
+    fn saturation_is_the_counter_wrap_antidote() {
+        // The bug class the lint exists for: 8-bit counters wrap at 256
+        // with `as`, but saturate to the sentinel with this helper.
+        let epochs: u32 = 300;
+        assert_eq!(epochs as u8, 44); // silent corruption
+        assert_eq!(saturate::<u8, u32>(epochs), 255); // explicit sentinel
+    }
+}

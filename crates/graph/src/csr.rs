@@ -110,10 +110,13 @@ impl Csr {
                 num_vertices + 1
             )));
         }
-        if offsets[0] != 0 || *offsets.last().expect("nonempty") != targets.len() as u64 {
-            return Err(GraphError::Format(
-                "offsets must start at 0 and end at targets.len()".to_string(),
-            ));
+        match (offsets.first(), offsets.last()) {
+            (Some(&0), Some(&last)) if last == targets.len() as u64 => {}
+            _ => {
+                return Err(GraphError::Format(
+                    "offsets must start at 0 and end at targets.len()".to_string(),
+                ));
+            }
         }
         if offsets.windows(2).any(|w| w[0] > w[1]) {
             return Err(GraphError::Format("offsets must be monotone".to_string()));

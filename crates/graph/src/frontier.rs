@@ -43,7 +43,7 @@ impl Frontier {
         for w in &mut f.bits {
             *w = u64::MAX;
         }
-        if num_vertices % 64 != 0 {
+        if !num_vertices.is_multiple_of(64) {
             if let Some(last) = f.bits.last_mut() {
                 *last = (1u64 << (num_vertices % 64)) - 1;
             }

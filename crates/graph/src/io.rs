@@ -350,7 +350,10 @@ mod tests {
 
     #[test]
     fn read_path_sniffs_matrix_market() {
-        let dir = std::env::temp_dir().join("popt_io_test");
+        // Scratch space under the workspace target dir, not the shared
+        // system temp dir, so parallel runs cannot interfere.
+        let dir =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/popt-io-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("g.mtx");
         std::fs::write(

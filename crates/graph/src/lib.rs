@@ -35,6 +35,7 @@
 //! ```
 
 mod builder;
+pub mod cast;
 mod csr;
 mod error;
 mod frontier;

@@ -68,7 +68,7 @@ pub fn degree_histogram(g: &Graph) -> Vec<usize> {
         let bucket = if d <= 1 {
             0
         } else {
-            (usize::BITS - (d as usize).leading_zeros()) as usize - 1
+            (usize::BITS - d.leading_zeros()) as usize - 1
         };
         hist[bucket] += 1;
         max_bucket = max_bucket.max(bucket);

@@ -63,25 +63,25 @@ pub(crate) struct Emit<'a, S: TraceSink> {
 }
 
 impl<S: TraceSink> Emit<'_, S> {
-    pub fn read(&mut self, region: RegionId, index: u64, site: u32) {
+    pub(crate) fn read(&mut self, region: RegionId, index: u64, site: u32) {
         self.sink
             .event(TraceEvent::read(self.space.addr_of(region, index), site));
     }
 
-    pub fn write(&mut self, region: RegionId, index: u64, site: u32) {
+    pub(crate) fn write(&mut self, region: RegionId, index: u64, site: u32) {
         self.sink
             .event(TraceEvent::write(self.space.addr_of(region, index), site));
     }
 
-    pub fn current_vertex(&mut self, v: VertexId) {
+    pub(crate) fn current_vertex(&mut self, v: VertexId) {
         self.sink.event(TraceEvent::CurrentVertex(v));
     }
 
-    pub fn iteration_begin(&mut self) {
+    pub(crate) fn iteration_begin(&mut self) {
         self.sink.event(TraceEvent::IterationBegin);
     }
 
-    pub fn instructions(&mut self, n: u32) {
+    pub(crate) fn instructions(&mut self, n: u32) {
         self.sink.event(TraceEvent::Instructions(n));
     }
 }

@@ -107,16 +107,15 @@ pub fn trace<S: TraceSink>(g: &Graph, plan: &TracePlan, sink: S) {
         emit.read(oa, src as u64, sites::OA);
         emit.read(comp, src as u64, sites::COMP_SRC);
         emit.instructions(VERTEX_INSTRS);
-        let mut cursor = g.out_csr().offsets()[src as usize];
-        for &dst in g.out_neighbors(src) {
-            emit.read(na, cursor, sites::NA);
+        let base = g.out_csr().offsets()[src as usize];
+        for (i, &dst) in g.out_neighbors(src).iter().enumerate() {
+            emit.read(na, base + i as u64, sites::NA);
             emit.read(comp, dst as u64, sites::COMP_READ);
             // First-iteration hooking writes when src's label is smaller.
             if src < dst {
                 emit.write(comp, dst as u64, sites::COMP_WRITE);
             }
             emit.instructions(EDGE_INSTRS);
-            cursor += 1;
         }
     }
 }

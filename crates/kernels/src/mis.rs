@@ -166,15 +166,14 @@ pub fn trace<S: TraceSink>(g: &Graph, plan: &TracePlan, sink: S) {
         }
         emit.read(oa, dst as u64, sites::OA);
         emit.instructions(VERTEX_INSTRS);
-        let mut cursor = g.in_csr().offsets()[dst as usize];
-        for &src in g.in_neighbors(dst) {
-            emit.read(na, cursor, sites::NA);
+        let base = g.in_csr().offsets()[dst as usize];
+        for (i, &src) in g.in_neighbors(dst).iter().enumerate() {
+            emit.read(na, base + i as u64, sites::NA);
             emit.read(frontier, Frontier::word_index(src) as u64, sites::FRONTIER);
             if state.frontier.contains(src) {
                 emit.read(st, src as u64, sites::STATE);
             }
             emit.instructions(EDGE_INSTRS);
-            cursor += 1;
         }
         emit.write(st, dst as u64, sites::STATE_WRITE);
     }

@@ -176,12 +176,11 @@ pub fn trace_parallel<S: TraceSink>(
                 }
                 emit.read(oa, dst as u64, sites::OA);
                 emit.instructions(VERTEX_INSTRS);
-                let mut cursor = g.in_csr().offsets()[dst as usize];
-                for &src in g.in_neighbors(dst) {
-                    emit.read(na, cursor, sites::NA);
+                let base = g.in_csr().offsets()[dst as usize];
+                for (i, &src) in g.in_neighbors(dst).iter().enumerate() {
+                    emit.read(na, base + i as u64, sites::NA);
                     emit.read(src_data, src as u64, sites::SRC);
                     emit.instructions(EDGE_INSTRS);
-                    cursor += 1;
                 }
                 emit.write(dst_data, dst as u64, sites::DST);
             }

@@ -168,15 +168,14 @@ pub fn trace_iteration<S: TraceSink>(g: &Graph, plan: &TracePlan, state: &State,
         emit.current_vertex(dst);
         emit.read(oa, dst as u64, sites::OA);
         emit.instructions(VERTEX_INSTRS);
-        let mut cursor = g.in_csr().offsets()[dst as usize];
-        for &src in g.in_neighbors(dst) {
-            emit.read(na, cursor, sites::NA);
+        let base = g.in_csr().offsets()[dst as usize];
+        for (i, &src) in g.in_neighbors(dst).iter().enumerate() {
+            emit.read(na, base + i as u64, sites::NA);
             emit.read(frontier, Frontier::word_index(src) as u64, sites::FRONTIER);
             if state.frontier.contains(src) {
                 emit.read(delta, src as u64, sites::DELTA);
             }
             emit.instructions(EDGE_INSTRS);
-            cursor += 1;
         }
         emit.write(rank, dst as u64, sites::RANK);
     }

@@ -146,7 +146,7 @@ pub fn trace_pb<S: TraceSink>(g: &Graph, cfg: BinningConfig, plan: &TracePlan, s
             let slot = b as u64 * ELEMS_PER_BIN_LINE + cursors[b] % ELEMS_PER_BIN_LINE;
             emit.write(bins, slot, sites::BIN);
             cursors[b] += 1;
-            if cursors[b] % ELEMS_PER_BIN_LINE == 0 {
+            if cursors[b].is_multiple_of(ELEMS_PER_BIN_LINE) {
                 // The active line filled up: one line of spill traffic.
                 emit.write(spill, spill_cursor * ELEMS_PER_BIN_LINE, sites::BIN);
                 spill_cursor += 1;

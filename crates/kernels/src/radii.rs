@@ -213,17 +213,16 @@ pub fn trace_iteration<S: TraceSink>(g: &Graph, plan: &TracePlan, state: &State,
         emit.read(oa, dst as u64, sites::OA);
         emit.read(masks, dst as u64, sites::MASK_DST);
         emit.instructions(VERTEX_INSTRS);
-        let mut cursor = g.in_csr().offsets()[dst as usize];
+        let base = g.in_csr().offsets()[dst as usize];
         let mut changed = false;
-        for &src in g.in_neighbors(dst) {
-            emit.read(na, cursor, sites::NA);
+        for (i, &src) in g.in_neighbors(dst).iter().enumerate() {
+            emit.read(na, base + i as u64, sites::NA);
             emit.read(frontier, Frontier::word_index(src) as u64, sites::FRONTIER);
             if state.frontier.contains(src) {
                 emit.read(masks, src as u64, sites::MASK);
                 changed |= state.masks[src as usize] & !state.masks[dst as usize] != 0;
             }
             emit.instructions(EDGE_INSTRS);
-            cursor += 1;
         }
         if changed {
             emit.write(masks, dst as u64, sites::MASK_DST);

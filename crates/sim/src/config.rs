@@ -27,7 +27,7 @@ impl CacheConfig {
     pub fn new(size_bytes: usize, ways: usize) -> Self {
         assert!(ways > 0, "associativity must be positive");
         assert!(
-            size_bytes > 0 && size_bytes % (ways * popt_trace::LINE_SIZE as usize) == 0,
+            size_bytes > 0 && size_bytes.is_multiple_of(ways * popt_trace::LINE_SIZE as usize),
             "cache size must be a positive multiple of ways * line size"
         );
         CacheConfig { size_bytes, ways }

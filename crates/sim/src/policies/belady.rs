@@ -17,7 +17,7 @@ const NEVER: u64 = u64::MAX;
 
 /// Computes, for each position in `lines`, the position of that line's next
 /// occurrence (or `u64::MAX` if none). `O(n)` backward scan.
-pub fn next_use_positions(lines: &[u64]) -> Vec<u64> {
+pub(crate) fn next_use_positions(lines: &[u64]) -> Vec<u64> {
     let mut next = vec![NEVER; lines.len()];
     let mut last_seen: HashMap<u64, u64> = HashMap::new();
     for (i, &line) in lines.iter().enumerate().rev() {
@@ -97,7 +97,7 @@ impl ReplacementPolicy for Belady {
         let base = ctx.set * self.ways;
         (0..ctx.ways.len())
             .max_by_key(|&w| self.way_next[base + w])
-            .expect("at least one way")
+            .unwrap_or(0)
     }
 }
 

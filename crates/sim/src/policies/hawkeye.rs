@@ -56,7 +56,8 @@ impl OptGen {
             Some(&(prev, prev_site)) => {
                 if now - prev < self.window as u64 {
                     let fits = (prev..now).all(|t| {
-                        self.occupancy[(t % self.window as u64) as usize] < self.capacity as u8
+                        usize::from(self.occupancy[(t % self.window as u64) as usize])
+                            < self.capacity
                     });
                     if fits {
                         for t in prev..now {
@@ -148,7 +149,7 @@ impl ReplacementPolicy for Hawkeye {
     }
 
     fn on_access(&mut self, set: usize, meta: &AccessMeta) {
-        if set % SAMPLE_STRIDE != 0 {
+        if !set.is_multiple_of(SAMPLE_STRIDE) {
             return;
         }
         let ways = self.ways;
@@ -200,7 +201,7 @@ impl ReplacementPolicy for Hawkeye {
         // the prediction was wrong.
         let w = (0..ctx.ways.len())
             .max_by_key(|&w| self.rrpv[base + w])
-            .expect("at least one way");
+            .unwrap_or(0);
         if self.line_friendly[base + w] {
             let site = self.line_site[base + w];
             self.train(site, false);

@@ -11,6 +11,7 @@
 //! slowly.
 
 use crate::{AccessMeta, ReplacementPolicy, VictimCtx};
+use popt_graph::cast;
 use std::collections::HashMap;
 
 /// Ceiling on learned live distances (in set-relative access counts).
@@ -93,7 +94,7 @@ impl ReplacementPolicy for Leeway {
         // observed live distance and grow the site's estimate to cover it
         // immediately (fast upward adaptation — underestimates cause
         // premature evictions).
-        let age = self.age(set, way).min(LIVE_DISTANCE_MAX as u64) as u16;
+        let age = cast::saturate::<u16, u64>(self.age(set, way)).min(LIVE_DISTANCE_MAX);
         let idx = set * self.ways + way;
         self.line_last_hit_age[idx] = self.line_last_hit_age[idx].max(age);
         let site = self.line_site[idx];
@@ -143,7 +144,7 @@ impl ReplacementPolicy for Leeway {
         }
         (0..ctx.ways.len())
             .max_by_key(|&w| self.age(ctx.set, w))
-            .expect("at least one way")
+            .unwrap_or(0)
     }
 }
 

@@ -119,12 +119,12 @@ pub(crate) mod testutil {
     use popt_trace::{AccessKind, RegionClass, SiteId};
 
     /// Builds a 1-set cache of `ways` ways around `policy`.
-    pub fn one_set_cache(ways: usize, policy: Box<dyn ReplacementPolicy>) -> SetAssocCache {
+    pub(crate) fn one_set_cache(ways: usize, policy: Box<dyn ReplacementPolicy>) -> SetAssocCache {
         SetAssocCache::new(CacheConfig::new(64 * ways, ways), policy)
     }
 
     /// Read access to `line` from `site`.
-    pub fn read(line: u64, site: u32) -> AccessMeta {
+    pub(crate) fn read(line: u64, site: u32) -> AccessMeta {
         AccessMeta {
             line,
             site: SiteId(site),
@@ -134,7 +134,7 @@ pub(crate) mod testutil {
     }
 
     /// Runs `trace` through `cache`, returning the number of hits.
-    pub fn run_lines(cache: &mut SetAssocCache, trace: &[u64]) -> u64 {
+    pub(crate) fn run_lines(cache: &mut SetAssocCache, trace: &[u64]) -> u64 {
         trace
             .iter()
             .filter(|&&l| cache.access(&read(l, 0)).is_hit())

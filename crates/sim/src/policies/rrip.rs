@@ -126,7 +126,7 @@ impl Brrip {
 
     fn insert_rrpv(fills: &mut u64) -> u8 {
         *fills += 1;
-        if *fills % BRRIP_EPSILON == 0 {
+        if (*fills).is_multiple_of(BRRIP_EPSILON) {
             RRPV_MAX - 1
         } else {
             RRPV_MAX
@@ -203,7 +203,7 @@ impl Drrip {
         // exist.
         let leaders = LEADERS.min(self.sets / 4).max(1);
         let stride = (self.sets / leaders).max(2);
-        if set % stride == 0 && set / stride < leaders {
+        if set.is_multiple_of(stride) && set / stride < leaders {
             SetRole::SrripLeader
         } else if set % stride == stride / 2 && set / stride < leaders {
             SetRole::BrripLeader

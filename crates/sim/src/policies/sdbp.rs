@@ -92,7 +92,7 @@ impl ReplacementPolicy for Sdbp {
 
     fn on_hit(&mut self, set: usize, way: usize, meta: &AccessMeta) {
         let idx = set * self.ways + way;
-        if set % SAMPLE_STRIDE == 0 && !self.line_reused[idx] {
+        if set.is_multiple_of(SAMPLE_STRIDE) && !self.line_reused[idx] {
             // The previous touch was *not* the last: train toward live.
             let site = self.line_site[idx];
             self.train(site, false);
@@ -108,7 +108,7 @@ impl ReplacementPolicy for Sdbp {
     }
 
     fn on_evict(&mut self, set: usize, way: usize, _line: u64) {
-        if set % SAMPLE_STRIDE != 0 {
+        if !set.is_multiple_of(SAMPLE_STRIDE) {
             return;
         }
         let idx = set * self.ways + way;
@@ -130,7 +130,7 @@ impl ReplacementPolicy for Sdbp {
         }
         (0..ctx.ways.len())
             .min_by_key(|&w| self.stamps[base + w])
-            .expect("at least one way")
+            .unwrap_or(0)
     }
 }
 

@@ -69,6 +69,11 @@ impl From<std::io::Error> for TraceFileError {
 pub struct TraceWriter<W: Write> {
     out: BufWriter<W>,
     events: u64,
+    // First write failure, deferred: `TraceSink::event` is infallible by
+    // signature, so errors are latched here and surfaced by `finish` (the
+    // standard sink pattern — the capture is unusable either way, but the
+    // simulation loop never panics).
+    error: Option<std::io::Error>,
 }
 
 impl<W: Write> TraceWriter<W> {
@@ -80,7 +85,11 @@ impl<W: Write> TraceWriter<W> {
     pub fn new(inner: W) -> Result<Self, TraceFileError> {
         let mut out = BufWriter::new(inner);
         out.write_all(MAGIC)?;
-        Ok(TraceWriter { out, events: 0 })
+        Ok(TraceWriter {
+            out,
+            events: 0,
+            error: None,
+        })
     }
 
     /// Events written so far.
@@ -92,8 +101,13 @@ impl<W: Write> TraceWriter<W> {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from the flush.
+    /// Returns the first write error encountered by
+    /// [`event`](TraceSink::event), if any, then propagates I/O errors
+    /// from the flush.
     pub fn finish(mut self) -> Result<W, TraceFileError> {
+        if let Some(e) = self.error.take() {
+            return Err(TraceFileError::Io(e));
+        }
         self.out.flush()?;
         self.out
             .into_inner()
@@ -134,9 +148,12 @@ impl<W: Write> TraceWriter<W> {
 
 impl<W: Write> TraceSink for TraceWriter<W> {
     fn event(&mut self, event: TraceEvent) {
-        // Buffered writes only fail on real I/O errors; surface them loudly
-        // rather than silently truncating a capture.
-        self.put(&event).expect("trace write failed");
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.put(&event) {
+            self.error = Some(e);
+        }
     }
 }
 
@@ -274,5 +291,40 @@ mod tests {
         TraceWriter::new(&mut buf).unwrap().finish().unwrap();
         let mut rec = RecordingSink::new();
         assert_eq!(replay(&buf[..], &mut rec).unwrap(), 0);
+    }
+
+    /// Writer that accepts `limit` bytes and then fails every write.
+    struct FailAfter {
+        limit: usize,
+        written: usize,
+    }
+
+    impl Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.written + buf.len() > self.limit {
+                return Err(std::io::Error::other("disk full"));
+            }
+            self.written += buf.len();
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_failures_surface_at_finish_not_as_panics() {
+        // Room for the magic plus one event; the second event's flush-through
+        // must fail. BufWriter buffers, so force a tiny buffer via many events.
+        let inner = FailAfter {
+            limit: MAGIC.len() + 16,
+            written: 0,
+        };
+        let mut w = TraceWriter::new(inner).unwrap();
+        for _ in 0..10_000 {
+            w.event(TraceEvent::read(0x1000, 1)); // must never panic
+        }
+        assert!(matches!(w.finish(), Err(TraceFileError::Io(_))));
     }
 }

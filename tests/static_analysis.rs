@@ -1,0 +1,50 @@
+//! Tier-1 gate: the workspace must pass its own static-analysis pass.
+//!
+//! This is the same check as `cargo run -p popt-analyze -- check` and the
+//! CI step; failing it here keeps invariant violations out of the tree
+//! even when CI is skipped.
+
+use popt_analyze::{find_workspace_root, run_check, Config};
+use std::path::PathBuf;
+
+#[test]
+fn workspace_passes_popt_analyze() {
+    let root =
+        find_workspace_root(&PathBuf::from(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let config = Config::load(&root).expect("analyze.toml parses");
+    let report = run_check(&root, &config).expect("workspace scan");
+    let mut message = String::new();
+    for d in &report.violations {
+        message.push_str(&format!("{d}\n"));
+    }
+    for a in &report.unused_allows {
+        message.push_str(&format!(
+            "stale allowlist entry: lint={} path={}\n",
+            a.lint, a.path
+        ));
+    }
+    assert!(
+        report.is_clean(),
+        "popt-analyze found {} violation(s) / {} stale allowlist entr(ies):\n{message}",
+        report.violations.len(),
+        report.unused_allows.len(),
+    );
+    // The scan must actually have covered the workspace.
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+}
+
+#[test]
+fn allowlist_stays_within_budget() {
+    let root =
+        find_workspace_root(&PathBuf::from(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let config = Config::load(&root).expect("analyze.toml parses");
+    assert!(
+        config.allow.len() <= 10,
+        "allowlist has {} entries; the budget is 10 — fix violations instead",
+        config.allow.len()
+    );
+    assert!(
+        config.allow.iter().all(|a| a.reason.len() >= 15),
+        "every allowlist entry needs a substantive reason"
+    );
+}

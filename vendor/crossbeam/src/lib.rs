@@ -1,0 +1,85 @@
+//! Offline shim for the subset of the `crossbeam` 0.8 API this workspace
+//! uses: `crossbeam::thread::scope` with `scope.spawn(|_| ...)`.
+//!
+//! The build environment has no network access, so the real crates.io
+//! `crossbeam` cannot be fetched; the workspace substitutes this
+//! implementation via `[patch.crates-io]`. Scoped spawning is delegated to
+//! `std::thread::scope` (stable since Rust 1.63), which provides the same
+//! borrow-across-threads guarantee the callers rely on.
+
+pub mod thread {
+    //! Scoped threads, mirroring `crossbeam::thread`.
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// The payload of a panicked scope, as `std::thread` reports it.
+    pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// A handle through which scoped threads are spawned, passed both to
+    /// the [`scope`] closure and (by reference) to every spawned closure.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle
+        /// again so nested spawns are possible (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Creates a scope in which threads borrowing non-`'static` data can be
+    /// spawned; joins them all before returning. Returns `Err` with the
+    /// panic payload if the closure or any spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut partial = [0u64; 2];
+        thread::scope(|scope| {
+            let (lo, hi) = partial.split_at_mut(1);
+            let d = &data;
+            scope.spawn(move |_| lo[0] = d[..2].iter().sum());
+            scope.spawn(move |_| hi[0] = d[2..].iter().sum());
+        })
+        .expect("no panics");
+        assert_eq!(partial, [3, 7]);
+    }
+
+    #[test]
+    fn scope_propagates_panics_as_err() {
+        let result = thread::scope(|scope| {
+            scope.spawn(|_| panic!("worker died"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let n = thread::scope(|scope| {
+            let h = scope.spawn(|_| 21);
+            h.join().map(|v| v * 2).unwrap_or(0)
+        })
+        .expect("no panics");
+        assert_eq!(n, 42);
+    }
+}

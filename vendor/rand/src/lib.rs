@@ -1,0 +1,239 @@
+//! Offline shim for the subset of the `rand` 0.8 API this workspace uses.
+//!
+//! The build environment has no network access, so the real crates.io
+//! `rand` cannot be fetched; the workspace substitutes this implementation
+//! via `[patch.crates-io]`. Only deterministic, explicitly-seeded use is
+//! supported: there is deliberately no `thread_rng`/`from_entropy`, which
+//! also lets `popt-analyze`'s determinism lint treat any appearance of
+//! those names as an error.
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256** seeded through
+//! SplitMix64 — not the ChaCha12 stream of the real crate, so exact draw
+//! sequences differ, but every consumer in this workspace asserts
+//! statistical or structural properties rather than golden draw values.
+
+/// Core random source: anything that can produce uniform `u64` words.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed. Equal seeds give equal streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from the full value range via
+/// [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Maps one 64-bit word to a sample of `Self`.
+    fn from_word(word: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_word(word: u64) -> f64 {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_word(word: u64) -> f32 {
+        (word >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn from_word(word: u64) -> bool {
+        word & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn from_word(word: u64) -> u64 {
+        word
+    }
+}
+
+impl Standard for u32 {
+    fn from_word(word: u64) -> u32 {
+        (word >> 32) as u32
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws a uniform sample using `word` as the entropy source.
+    fn sample(self, word: u64) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, word: u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u128;
+                self.start + (word as u128 % span) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, word: u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u128 + 1;
+                start + (word as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly over the type's natural range
+    /// (for floats: `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_word(self.next_u64())
+    }
+
+    /// Samples uniformly from `range`. Panics on an empty range.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self.next_u64())
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+pub mod rngs {
+    //! Concrete generators (only [`StdRng`] in this shim).
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for `rand`'s
+    /// `StdRng`. Always explicitly seeded.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut s = seed;
+            StdRng {
+                state: [
+                    splitmix64(&mut s),
+                    splitmix64(&mut s),
+                    splitmix64(&mut s),
+                    splitmix64(&mut s),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.state[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.state[1] << 17;
+            self.state[2] ^= self.state[0];
+            self.state[3] ^= self.state[1];
+            self.state[1] ^= self.state[2];
+            self.state[0] ^= self.state[3];
+            self.state[2] ^= t;
+            self.state[3] = self.state[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..1000 {
+            let v = rng.gen_range(5u64..=7);
+            assert!((5..=7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_f64_is_unit_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2100..2900).contains(&hits), "hits {hits}");
+    }
+
+    fn next_u64(rng: &mut StdRng) -> u64 {
+        use super::RngCore;
+        rng.next_u64()
+    }
+
+    #[test]
+    fn rngcore_is_usable_through_trait() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_ne!(next_u64(&mut rng), next_u64(&mut rng));
+    }
+}
