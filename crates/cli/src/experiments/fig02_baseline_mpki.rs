@@ -4,8 +4,8 @@
 //! reduce misses compared to LRU" — LRU, DRRIP, SHiP-PC, SHiP-Mem and
 //! Hawkeye all land within a narrow MPKI band on every input.
 
-use crate::experiments::suite;
-use crate::runner::{simulate, PolicySpec};
+use crate::exec::Session;
+use crate::runner::PolicySpec;
 use crate::table::{f2, pct, Table};
 use crate::Scale;
 use popt_kernels::App;
@@ -21,8 +21,23 @@ pub const POLICIES: [PolicyKind; 5] = [
 ];
 
 /// Runs the experiment.
-pub fn run(scale: Scale) -> Vec<Table> {
+pub fn run(session: &Session, scale: Scale) -> Vec<Table> {
     let cfg = scale.config();
+    let suite = session.suite(scale);
+    let mut cells = Vec::new();
+    for entry in &suite {
+        for kind in POLICIES {
+            let spec = PolicySpec::Baseline(kind);
+            cells.push(session.sim(
+                format!("fig2/{}/{}/{}", scale.name(), entry.which, spec.cell_tag()),
+                App::Pagerank,
+                entry,
+                &cfg,
+                &spec,
+            ));
+        }
+    }
+    let mut results = session.run(cells).into_iter();
     let mut mpki = Table::new(
         "Figure 2: LLC MPKI, PageRank (lower is better)",
         &["graph", "LRU", "DRRIP", "SHiP-PC", "SHiP-Mem", "Hawkeye"],
@@ -31,11 +46,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "Figure 2 (companion): LLC miss rate, PageRank",
         &["graph", "LRU", "DRRIP", "SHiP-PC", "SHiP-Mem", "Hawkeye"],
     );
-    for (name, g) in suite(scale) {
-        let mut mpki_row = vec![name.to_string()];
-        let mut rate_row = vec![name.to_string()];
-        for kind in POLICIES {
-            let stats = simulate(App::Pagerank, &g, &cfg, &PolicySpec::Baseline(kind));
+    for entry in &suite {
+        let mut mpki_row = vec![entry.which.to_string()];
+        let mut rate_row = vec![entry.which.to_string()];
+        for _ in POLICIES {
+            let stats = results.next().expect("one result per cell");
             mpki_row.push(f2(stats.llc_mpki()));
             rate_row.push(pct(stats.llc.miss_rate()));
         }
@@ -48,6 +63,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::simulate;
     use popt_graph::suite::{suite_graph, SuiteGraph, SuiteScale};
     use popt_sim::HierarchyConfig;
 

@@ -4,16 +4,40 @@
 //! compared to LRU" — the transpose oracle opens a gap no heuristic policy
 //! approaches.
 
-use crate::experiments::{geomean, suite};
-use crate::runner::{simulate, PolicySpec};
+use crate::exec::Session;
+use crate::experiments::geomean;
+use crate::runner::PolicySpec;
 use crate::table::{f2, Table};
 use crate::Scale;
 use popt_kernels::App;
 use popt_sim::PolicyKind;
 
+/// The policy line-up of Figure 4, in column order.
+const SPECS: [PolicySpec; 5] = [
+    PolicySpec::Baseline(PolicyKind::Lru),
+    PolicySpec::Baseline(PolicyKind::Drrip),
+    PolicySpec::Baseline(PolicyKind::ShipPc),
+    PolicySpec::Baseline(PolicyKind::Hawkeye),
+    PolicySpec::Topt,
+];
+
 /// Runs the experiment.
-pub fn run(scale: Scale) -> Vec<Table> {
+pub fn run(session: &Session, scale: Scale) -> Vec<Table> {
     let cfg = scale.config();
+    let suite = session.suite(scale);
+    let mut cells = Vec::new();
+    for entry in &suite {
+        for spec in &SPECS {
+            cells.push(session.sim(
+                format!("fig4/{}/{}/{}", scale.name(), entry.which, spec.cell_tag()),
+                App::Pagerank,
+                entry,
+                &cfg,
+                spec,
+            ));
+        }
+    }
+    let mut results = session.run(cells).into_iter();
     let mut table = Table::new(
         "Figure 4: LLC MPKI with T-OPT, PageRank (lower is better)",
         &[
@@ -27,36 +51,16 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ],
     );
     let mut ratios = Vec::new();
-    for (name, g) in suite(scale) {
-        let lru = simulate(
-            App::Pagerank,
-            &g,
-            &cfg,
-            &PolicySpec::Baseline(PolicyKind::Lru),
-        );
-        let drrip = simulate(
-            App::Pagerank,
-            &g,
-            &cfg,
-            &PolicySpec::Baseline(PolicyKind::Drrip),
-        );
-        let ship = simulate(
-            App::Pagerank,
-            &g,
-            &cfg,
-            &PolicySpec::Baseline(PolicyKind::ShipPc),
-        );
-        let hawk = simulate(
-            App::Pagerank,
-            &g,
-            &cfg,
-            &PolicySpec::Baseline(PolicyKind::Hawkeye),
-        );
-        let topt = simulate(App::Pagerank, &g, &cfg, &PolicySpec::Topt);
+    for entry in &suite {
+        let lru = results.next().expect("one result per cell");
+        let drrip = results.next().expect("one result per cell");
+        let ship = results.next().expect("one result per cell");
+        let hawk = results.next().expect("one result per cell");
+        let topt = results.next().expect("one result per cell");
         let ratio = lru.llc.misses as f64 / topt.llc.misses.max(1) as f64;
         ratios.push(ratio);
         table.row(vec![
-            name.to_string(),
+            entry.which.to_string(),
             f2(lru.llc_mpki()),
             f2(drrip.llc_mpki()),
             f2(ship.llc_mpki()),
@@ -80,6 +84,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::simulate;
     use popt_graph::suite::{suite_graph, SuiteGraph, SuiteScale};
     use popt_sim::HierarchyConfig;
 

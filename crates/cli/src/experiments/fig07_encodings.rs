@@ -5,17 +5,57 @@
 //! reduction close to the idealized T-OPT"; both P-OPT designs beat DRRIP
 //! despite reserving LLC ways for their columns.
 
-use crate::experiments::{geomean, suite};
-use crate::runner::{simulate, PolicySpec};
+use crate::exec::Session;
+use crate::experiments::geomean;
+use crate::runner::PolicySpec;
 use crate::table::{pct, Table};
 use crate::Scale;
 use popt_core::{Encoding, Quantization};
 use popt_kernels::App;
 use popt_sim::PolicyKind;
 
+fn candidate_specs() -> [PolicySpec; 3] {
+    [
+        PolicySpec::Popt {
+            quant: Quantization::EIGHT,
+            encoding: Encoding::InterOnly,
+            limit_study: false,
+        },
+        PolicySpec::Popt {
+            quant: Quantization::EIGHT,
+            encoding: Encoding::InterIntra,
+            limit_study: false,
+        },
+        PolicySpec::Topt,
+    ]
+}
+
 /// Runs the experiment.
-pub fn run(scale: Scale) -> Vec<Table> {
+pub fn run(session: &Session, scale: Scale) -> Vec<Table> {
     let cfg = scale.config();
+    let suite = session.suite(scale);
+    let specs = candidate_specs();
+    let mut cells = Vec::new();
+    for entry in &suite {
+        let drrip = PolicySpec::Baseline(PolicyKind::Drrip);
+        cells.push(session.sim(
+            format!("fig7/{}/{}/{}", scale.name(), entry.which, drrip.cell_tag()),
+            App::Pagerank,
+            entry,
+            &cfg,
+            &drrip,
+        ));
+        for spec in &specs {
+            cells.push(session.sim(
+                format!("fig7/{}/{}/{}", scale.name(), entry.which, spec.cell_tag()),
+                App::Pagerank,
+                entry,
+                &cfg,
+                spec,
+            ));
+        }
+    }
+    let mut results = session.run(cells).into_iter();
     let mut table = Table::new(
         "Figure 7: LLC miss reduction vs DRRIP, PageRank (higher is better)",
         &[
@@ -26,29 +66,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ],
     );
     let mut means = [Vec::new(), Vec::new(), Vec::new()];
-    for (name, g) in suite(scale) {
-        let drrip = simulate(
-            App::Pagerank,
-            &g,
-            &cfg,
-            &PolicySpec::Baseline(PolicyKind::Drrip),
-        );
-        let specs = [
-            PolicySpec::Popt {
-                quant: Quantization::EIGHT,
-                encoding: Encoding::InterOnly,
-                limit_study: false,
-            },
-            PolicySpec::Popt {
-                quant: Quantization::EIGHT,
-                encoding: Encoding::InterIntra,
-                limit_study: false,
-            },
-            PolicySpec::Topt,
-        ];
-        let mut row = vec![name.to_string()];
-        for (i, spec) in specs.iter().enumerate() {
-            let s = simulate(App::Pagerank, &g, &cfg, spec);
+    for entry in &suite {
+        let drrip = results.next().expect("one result per cell");
+        let mut row = vec![entry.which.to_string()];
+        for (i, _) in specs.iter().enumerate() {
+            let s = results.next().expect("one result per cell");
             let reduction = 1.0 - s.llc.misses as f64 / drrip.llc.misses.max(1) as f64;
             means[i].push(s.llc.misses as f64 / drrip.llc.misses.max(1) as f64);
             row.push(pct(reduction));
@@ -67,6 +89,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::simulate;
     use popt_graph::suite::{suite_graph, SuiteGraph, SuiteScale};
     use popt_sim::HierarchyConfig;
 

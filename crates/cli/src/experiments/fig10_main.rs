@@ -7,8 +7,9 @@
 //! (hub lines hit by chance under any policy); Radii×HBUBL is excluded
 //! because its frontier never densifies into a pull iteration.
 
-use crate::experiments::{geomean, suite};
-use crate::runner::{simulate, PolicySpec};
+use crate::exec::Session;
+use crate::experiments::geomean;
+use crate::runner::PolicySpec;
 use crate::table::{pct, speedup, Table};
 use crate::Scale;
 use popt_graph::suite::SuiteGraph;
@@ -29,9 +30,51 @@ pub fn is_simulated(app: App, which: SuiteGraph, g: &Graph) -> bool {
 }
 
 /// Runs the experiment.
-pub fn run(scale: Scale) -> Vec<Table> {
+pub fn run(session: &Session, scale: Scale) -> Vec<Table> {
     let cfg = scale.config();
     let model = TimingModel::default();
+    let suite = session.suite(scale);
+    let specs = [
+        PolicySpec::Baseline(PolicyKind::Drrip),
+        PolicySpec::popt_default(),
+        PolicySpec::Topt,
+    ];
+    let mut cells = Vec::new();
+    let mut included = Vec::new();
+    for app in App::ALL {
+        for entry in &suite {
+            let simulated = is_simulated(app, entry.which, &entry.graph);
+            included.push(simulated);
+            if !simulated {
+                continue;
+            }
+            let prefix = format!(
+                "fig10/{}/{}/{}",
+                scale.name(),
+                app.to_string().to_lowercase(),
+                entry.which
+            );
+            let lru = PolicySpec::Baseline(PolicyKind::Lru);
+            cells.push(session.sim(
+                format!("{prefix}/{}", lru.cell_tag()),
+                app,
+                entry,
+                &cfg,
+                &lru,
+            ));
+            for spec in &specs {
+                cells.push(session.sim(
+                    format!("{prefix}/{}", spec.cell_tag()),
+                    app,
+                    entry,
+                    &cfg,
+                    spec,
+                ));
+            }
+        }
+    }
+    let mut results = session.run(cells).into_iter();
+    let mut included = included.into_iter();
     let mut speed = Table::new(
         "Figure 10a: speedup over LRU (higher is better)",
         &["app", "graph", "DRRIP", "P-OPT", "T-OPT"],
@@ -42,10 +85,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
     );
     let mut all_speedups: Vec<Vec<f64>> = vec![Vec::new(); 3];
     let mut all_missratio: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    let graphs = suite(scale);
     for app in App::ALL {
-        for (which, g) in &graphs {
-            if !is_simulated(app, *which, g) {
+        for entry in &suite {
+            let which = entry.which;
+            if !included.next().expect("one flag per cell group") {
                 speed.row(vec![
                     app.to_string(),
                     which.to_string(),
@@ -62,16 +105,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 ]);
                 continue;
             }
-            let lru = simulate(app, g, &cfg, &PolicySpec::Baseline(PolicyKind::Lru));
-            let specs = [
-                PolicySpec::Baseline(PolicyKind::Drrip),
-                PolicySpec::popt_default(),
-                PolicySpec::Topt,
-            ];
+            let lru = results.next().expect("one result per cell");
             let mut s_row = vec![app.to_string(), which.to_string()];
             let mut m_row = vec![app.to_string(), which.to_string()];
-            for (i, spec) in specs.iter().enumerate() {
-                let stats = simulate(app, g, &cfg, spec);
+            for i in 0..specs.len() {
+                let stats = results.next().expect("one result per cell");
                 let sp = model.speedup(&lru, &stats);
                 let mr = stats.llc.misses as f64 / lru.llc.misses.max(1) as f64;
                 all_speedups[i].push(sp);
@@ -97,6 +135,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::simulate;
     use popt_graph::suite::{suite_graph, SuiteScale};
     use popt_sim::HierarchyConfig;
 

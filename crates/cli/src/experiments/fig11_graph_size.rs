@@ -7,17 +7,56 @@
 //! much of the LLC — "the result highlights the tension between next
 //! reference quantization and the effective LLC capacity".
 
-use crate::runner::{popt_bindings, reserved_ways_for, simulate, PolicySpec};
+use crate::exec::Session;
+use crate::runner::{popt_bindings_cached, reserved_ways_for, PolicySpec};
 use crate::table::{pct, Table};
 use crate::Scale;
 use popt_core::{Encoding, Quantization};
-use popt_graph::suite::scaling_series;
+use popt_graph::suite::{scaling_graph, scaling_label, scaling_sizes};
 use popt_kernels::App;
 use popt_sim::PolicyKind;
 
+const ENCODINGS: [Encoding; 2] = [Encoding::InterIntra, Encoding::SingleEpoch];
+
 /// Runs the experiment.
-pub fn run(scale: Scale) -> Vec<Table> {
+pub fn run(session: &Session, scale: Scale) -> Vec<Table> {
     let cfg = scale.config();
+    let series: Vec<_> = scaling_sizes(scale.suite())
+        .iter()
+        .map(|&v| {
+            let desc = format!("scaling/v1/{v}");
+            let graph = session.named_graph(&desc, || scaling_graph(v));
+            (scaling_label(v), desc, graph)
+        })
+        .collect();
+    let mut cells = Vec::new();
+    for (label, desc, g) in &series {
+        let drrip = PolicySpec::Baseline(PolicyKind::Drrip);
+        cells.push(session.sim_cell(
+            format!("fig11/{}/{label}/{}", scale.name(), drrip.cell_tag()),
+            App::Pagerank,
+            g,
+            desc,
+            &cfg,
+            &drrip,
+        ));
+        for encoding in ENCODINGS {
+            let spec = PolicySpec::Popt {
+                quant: Quantization::EIGHT,
+                encoding,
+                limit_study: false,
+            };
+            cells.push(session.sim_cell(
+                format!("fig11/{}/{label}/{}", scale.name(), spec.cell_tag()),
+                App::Pagerank,
+                g,
+                desc,
+                &cfg,
+                &spec,
+            ));
+        }
+    }
+    let mut results = session.run(cells).into_iter();
     let mut table = Table::new(
         "Figure 11: LLC miss reduction vs DRRIP and reserved ways, PageRank",
         &[
@@ -29,24 +68,22 @@ pub fn run(scale: Scale) -> Vec<Table> {
             "ways(SE)",
         ],
     );
-    for (label, g) in scaling_series(scale.suite()) {
-        let drrip = simulate(
-            App::Pagerank,
-            &g,
-            &cfg,
-            &PolicySpec::Baseline(PolicyKind::Drrip),
-        );
-        let mut row = vec![label, g.num_vertices().to_string()];
-        for encoding in [Encoding::InterIntra, Encoding::SingleEpoch] {
-            let spec = PolicySpec::Popt {
-                quant: Quantization::EIGHT,
-                encoding,
-                limit_study: false,
-            };
-            let stats = simulate(App::Pagerank, &g, &cfg, &spec);
+    for (label, desc, g) in &series {
+        let drrip = results.next().expect("one result per cell");
+        let mut row = vec![label.clone(), g.num_vertices().to_string()];
+        for encoding in ENCODINGS {
+            let stats = results.next().expect("one result per cell");
             let reduction = 1.0 - stats.llc.misses as f64 / drrip.llc.misses.max(1) as f64;
-            let plan = App::Pagerank.plan(&g);
-            let bindings = popt_bindings(App::Pagerank, &g, &plan, Quantization::EIGHT, encoding);
+            let plan = App::Pagerank.plan(g);
+            let ctx = session.matrix_ctx(desc);
+            let bindings = popt_bindings_cached(
+                App::Pagerank,
+                g,
+                &plan,
+                Quantization::EIGHT,
+                encoding,
+                ctx.as_ref(),
+            );
             let ways = reserved_ways_for(&bindings, &cfg);
             row.push(pct(reduction));
             row.push(ways.to_string());
@@ -59,6 +96,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::popt_bindings;
     use popt_graph::generators;
     use popt_sim::HierarchyConfig;
 

@@ -7,13 +7,14 @@
 //!   community graphs and *hurts* graphs without community structure,
 //!   while P-OPT improves every input.
 
-use crate::experiments::suite;
-use crate::runner::{simulate, PolicySpec};
+use crate::exec::Session;
+use crate::runner::PolicySpec;
 use crate::table::{pct, Table};
 use crate::Scale;
 use popt_graph::reorder;
 use popt_kernels::{hats, pagerank, App};
 use popt_sim::{Hierarchy, HierarchyConfig, HierarchyStats, PolicyKind};
+use std::sync::Arc;
 
 /// GRASP's hot/warm boundaries from the DBG grouping: the hottest DBG
 /// groups (≥ 8× average connectivity) are "hot", the next tier "warm".
@@ -41,64 +42,112 @@ fn simulate_ordered(
 }
 
 /// Runs both sub-experiments.
-pub fn run(scale: Scale) -> Vec<Table> {
+pub fn run(session: &Session, scale: Scale) -> Vec<Table> {
     let cfg = scale.config();
+    let suite = session.suite(scale);
 
     // --- 12a: GRASP vs P-OPT on DBG-ordered graphs -----------------------
+    // The DBG permutation is deterministic, so the relabeled graph gets its
+    // own stable descriptor (distinct matrix cache entries from the base).
+    let dbg_inputs: Vec<_> = suite
+        .iter()
+        .map(|entry| {
+            let (perm, boundaries) = reorder::degree_based_grouping(&entry.graph);
+            let dbg_graph = Arc::new(entry.graph.relabel(&perm));
+            let desc = format!("{}/dbg-v1", entry.desc);
+            (entry.which, dbg_graph, desc, boundaries)
+        })
+        .collect();
+    let mut cells = Vec::new();
+    for (which, g, desc, boundaries) in &dbg_inputs {
+        let prefix = format!("fig12a/{}/{which}", scale.name());
+        for spec in [
+            PolicySpec::Baseline(PolicyKind::Drrip),
+            grasp_spec(boundaries),
+            PolicySpec::popt_default(),
+            PolicySpec::Topt,
+        ] {
+            cells.push(session.sim_cell(
+                format!("{prefix}/{}", spec.cell_tag()),
+                App::Pagerank,
+                g,
+                desc,
+                &cfg,
+                &spec,
+            ));
+        }
+    }
+
+    // --- 12b: HATS-BDFS vs P-OPT -----------------------------------------
+    // Our synthetic `uk02` is generated with community-contiguous vertex
+    // IDs, so the sequential order is already community-local and BDFS has
+    // nothing to rediscover. Real crawls are not always so lucky: add a
+    // shuffled-ID variant ("uk02*"), the regime where HATS shines in the
+    // paper.
+    let mut inputs: Vec<(String, Arc<popt_graph::Graph>, String)> = suite
+        .iter()
+        .map(|e| (e.which.to_string(), Arc::clone(&e.graph), e.desc.clone()))
+        .collect();
+    let uk02 = suite
+        .iter()
+        .find(|e| e.which == popt_graph::suite::SuiteGraph::Uk02)
+        .expect("uk02 present");
+    let perm = reorder::random_permutation(uk02.graph.num_vertices(), 0xc0ffee);
+    inputs.push((
+        "uk02*".to_string(),
+        Arc::new(uk02.graph.relabel(&perm)),
+        format!("{}/shuffle-c0ffee", uk02.desc),
+    ));
+    for (name, g, desc) in &inputs {
+        let tag = name.replace('*', "-shuffled");
+        let prefix = format!("fig12b/{}/{tag}", scale.name());
+        let ordered_cell = |id: String, order: Option<Vec<u32>>| {
+            let g = Arc::clone(g);
+            let cfg = cfg.clone();
+            session.cell(id, move || {
+                simulate_ordered(&g, &cfg, PolicyKind::Drrip, order.as_deref())
+            })
+        };
+        cells.push(ordered_cell(format!("{prefix}/drrip-seq"), None));
+        let order = hats::bdfs_order(g, hats::DEFAULT_DEPTH_BOUND);
+        cells.push(ordered_cell(format!("{prefix}/drrip-bdfs"), Some(order)));
+        for spec in [PolicySpec::popt_default(), PolicySpec::Topt] {
+            cells.push(session.sim_cell(
+                format!("{prefix}/{}", spec.cell_tag()),
+                App::Pagerank,
+                g,
+                desc,
+                &cfg,
+                &spec,
+            ));
+        }
+    }
+
+    let mut results = session.run(cells).into_iter();
     let mut a = Table::new(
         "Figure 12a: LLC miss reduction vs DRRIP on DBG-ordered graphs, PageRank",
         &["graph", "GRASP", "P-OPT", "T-OPT"],
     );
-    for (name, g) in suite(scale) {
-        let (perm, boundaries) = reorder::degree_based_grouping(&g);
-        let dbg_graph = g.relabel(&perm);
-        let drrip = simulate(
-            App::Pagerank,
-            &dbg_graph,
-            &cfg,
-            &PolicySpec::Baseline(PolicyKind::Drrip),
-        );
-        let mut row = vec![name.to_string()];
-        for spec in [
-            grasp_spec(&boundaries),
-            PolicySpec::popt_default(),
-            PolicySpec::Topt,
-        ] {
-            let stats = simulate(App::Pagerank, &dbg_graph, &cfg, &spec);
+    for (which, _, _, _) in &dbg_inputs {
+        let drrip = results.next().expect("one result per cell");
+        let mut row = vec![which.to_string()];
+        for _ in 0..3 {
+            let stats = results.next().expect("one result per cell");
             row.push(pct(
                 1.0 - stats.llc.misses as f64 / drrip.llc.misses.max(1) as f64
             ));
         }
         a.row(row);
     }
-
-    // --- 12b: HATS-BDFS vs P-OPT -----------------------------------------
     let mut b = Table::new(
         "Figure 12b: LLC miss reduction vs DRRIP (vertex order), PageRank",
         &["graph", "HATS-BDFS+DRRIP", "P-OPT", "T-OPT"],
     );
-    // Our synthetic `uk02` is generated with community-contiguous vertex
-    // IDs, so the sequential order is already community-local and BDFS has
-    // nothing to rediscover. Real crawls are not always so lucky: add a
-    // shuffled-ID variant ("uk02*"), the regime where HATS shines in the
-    // paper.
-    let mut inputs: Vec<(String, popt_graph::Graph)> = suite(scale)
-        .into_iter()
-        .map(|(n, g)| (n.to_string(), g))
-        .collect();
-    let uk02 = suite(scale)
-        .into_iter()
-        .find(|(n, _)| *n == popt_graph::suite::SuiteGraph::Uk02)
-        .expect("uk02 present")
-        .1;
-    let perm = reorder::random_permutation(uk02.num_vertices(), 0xc0ffee);
-    inputs.push(("uk02*".to_string(), uk02.relabel(&perm)));
-    for (name, g) in &inputs {
-        let drrip = simulate_ordered(g, &cfg, PolicyKind::Drrip, None);
-        let order = hats::bdfs_order(g, hats::DEFAULT_DEPTH_BOUND);
-        let hats_stats = simulate_ordered(g, &cfg, PolicyKind::Drrip, Some(&order));
-        let popt = simulate(App::Pagerank, g, &cfg, &PolicySpec::popt_default());
-        let topt = simulate(App::Pagerank, g, &cfg, &PolicySpec::Topt);
+    for (name, _, _) in &inputs {
+        let drrip = results.next().expect("one result per cell");
+        let hats_stats = results.next().expect("one result per cell");
+        let popt = results.next().expect("one result per cell");
+        let topt = results.next().expect("one result per cell");
         let reduce =
             |s: &HierarchyStats| pct(1.0 - s.llc.misses as f64 / drrip.llc.misses.max(1) as f64);
         b.row(vec![
@@ -114,6 +163,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::simulate;
     use popt_graph::suite::{suite_graph, SuiteGraph, SuiteScale};
 
     #[test]

@@ -5,30 +5,55 @@
 //! has the same LLC miss reduction as DRRIP with 10 tiles"), and tiling
 //! shrinks P-OPT's resident column (fewer reserved ways).
 
+use crate::exec::Session;
 use crate::runner::{simulate_tiled, PhasePolicy};
 use crate::table::{pct, Table};
 use crate::Scale;
-use popt_graph::suite::{suite_graph, SuiteGraph};
+use popt_graph::suite::SuiteGraph;
+use std::sync::Arc;
 
 /// Tile counts swept (the paper sweeps 1..10+; powers of two keep tile
 /// boundaries line-aligned).
 pub const TILE_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
 
 /// Runs the experiment on the two large uniform-ish graphs the paper uses.
-pub fn run(scale: Scale) -> Vec<Table> {
+pub fn run(session: &Session, scale: Scale) -> Vec<Table> {
     let cfg = scale.config();
+    let entries: Vec<_> = [SuiteGraph::Urand, SuiteGraph::Kron]
+        .iter()
+        .map(|&which| session.graph(which, scale))
+        .collect();
+    let mut cells = Vec::new();
+    for entry in &entries {
+        for tiles in TILE_COUNTS {
+            for (tag, policy) in [("drrip", PhasePolicy::Drrip), ("popt", PhasePolicy::Popt)] {
+                let g = Arc::clone(&entry.graph);
+                let cfg = cfg.clone();
+                cells.push(session.cell(
+                    format!("fig13/{}/{}/t{tiles}/{tag}", scale.name(), entry.which),
+                    move || simulate_tiled(&g, &cfg, tiles, policy),
+                ));
+            }
+        }
+    }
+    let mut results = session.run(cells).into_iter();
     let mut table = Table::new(
         "Figure 13: LLC misses vs untiled DRRIP, tiled PageRank (lower is better)",
         &["graph", "tiles", "DRRIP", "P-OPT"],
     );
-    for which in [SuiteGraph::Urand, SuiteGraph::Kron] {
-        let g = suite_graph(which, scale.suite());
-        let base = simulate_tiled(&g, &cfg, 1, PhasePolicy::Drrip).llc.misses;
+    for entry in &entries {
+        // The tiles=1 DRRIP cell doubles as the normalization base
+        // (simulations are deterministic, so this matches the old serial
+        // driver's separate base run bit for bit).
+        let mut base = 0u64;
         for tiles in TILE_COUNTS {
-            let drrip = simulate_tiled(&g, &cfg, tiles, PhasePolicy::Drrip);
-            let popt = simulate_tiled(&g, &cfg, tiles, PhasePolicy::Popt);
+            let drrip = results.next().expect("one result per cell");
+            let popt = results.next().expect("one result per cell");
+            if tiles == 1 {
+                base = drrip.llc.misses;
+            }
             table.row(vec![
-                which.to_string(),
+                entry.which.to_string(),
                 tiles.to_string(),
                 pct(drrip.llc.misses as f64 / base.max(1) as f64),
                 pct(popt.llc.misses as f64 / base.max(1) as f64),
@@ -41,7 +66,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use popt_graph::suite::SuiteScale;
+    use popt_graph::suite::{suite_graph, SuiteScale};
     use popt_sim::HierarchyConfig;
 
     #[test]

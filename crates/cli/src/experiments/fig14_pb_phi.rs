@@ -5,27 +5,61 @@
 //! private-cache locality impedes aggregation), better replacement
 //! improves PHI, and P-OPT helps even where PHI does not.
 
-use crate::experiments::suite;
+use crate::exec::Session;
 use crate::runner::{simulate_pb, simulate_phi, PhasePolicy};
 use crate::table::{pct, Table};
 use crate::Scale;
+use std::sync::Arc;
 
 /// Runs the experiment. The metric is DRAM transfers (fills + writebacks)
 /// of the scatter/binning phase, normalized to PB+DRRIP.
-pub fn run(scale: Scale) -> Vec<Table> {
+pub fn run(session: &Session, scale: Scale) -> Vec<Table> {
     let cfg = scale.config();
+    let suite = session.suite(scale);
+    type Phase =
+        fn(&popt_graph::Graph, &popt_sim::HierarchyConfig, PhasePolicy) -> popt_sim::HierarchyStats;
+    const VARIANTS: [(&str, Phase, PhasePolicy); 4] = [
+        ("pb/drrip", simulate_pb, PhasePolicy::Drrip),
+        ("pb/popt", simulate_pb, PhasePolicy::Popt),
+        ("phi/drrip", simulate_phi, PhasePolicy::Drrip),
+        ("phi/popt", simulate_phi, PhasePolicy::Popt),
+    ];
+    let mut cells = Vec::new();
+    for entry in &suite {
+        for (tag, phase, policy) in VARIANTS {
+            let g = Arc::clone(&entry.graph);
+            let cfg = cfg.clone();
+            cells.push(session.cell(
+                format!("fig14/{}/{}/{tag}", scale.name(), entry.which),
+                move || phase(&g, &cfg, policy),
+            ));
+        }
+    }
+    let mut results = session.run(cells).into_iter();
     let mut table = Table::new(
         "Figure 14: DRAM traffic vs PB+DRRIP, PageRank scatter phase (lower is better)",
         &["graph", "PB+DRRIP", "PB+P-OPT", "PHI+DRRIP", "PHI+P-OPT"],
     );
-    for (name, g) in suite(scale) {
-        let base = simulate_pb(&g, &cfg, PhasePolicy::Drrip).dram_transfers();
-        let pb_popt = simulate_pb(&g, &cfg, PhasePolicy::Popt).dram_transfers();
-        let phi_drrip = simulate_phi(&g, &cfg, PhasePolicy::Drrip).dram_transfers();
-        let phi_popt = simulate_phi(&g, &cfg, PhasePolicy::Popt).dram_transfers();
+    for entry in &suite {
+        let base = results
+            .next()
+            .expect("one result per cell")
+            .dram_transfers();
+        let pb_popt = results
+            .next()
+            .expect("one result per cell")
+            .dram_transfers();
+        let phi_drrip = results
+            .next()
+            .expect("one result per cell")
+            .dram_transfers();
+        let phi_popt = results
+            .next()
+            .expect("one result per cell")
+            .dram_transfers();
         let norm = |x: u64| pct(x as f64 / base.max(1) as f64);
         table.row(vec![
-            name.to_string(),
+            entry.which.to_string(),
             pct(1.0),
             norm(pb_popt),
             norm(phi_drrip),

@@ -11,48 +11,80 @@
 //! is gigabytes (65536 columns); like the paper this is a limit study, so
 //! it always runs on the Small suite regardless of the requested scale.
 
-use crate::experiments::suite;
-use crate::runner::{simulate, PolicySpec};
+use crate::exec::Session;
+use crate::runner::PolicySpec;
 use crate::table::{pct, Table};
 use crate::Scale;
 use popt_core::{Encoding, Quantization};
 use popt_kernels::App;
 use popt_sim::PolicyKind;
 
-/// Runs the experiment (always Small scale; see module docs).
-pub fn run(_scale: Scale) -> Vec<Table> {
-    let cfg = Scale::Small.config();
+const QUANTS: [Quantization; 3] = [
+    Quantization::FOUR,
+    Quantization::EIGHT,
+    Quantization::SIXTEEN,
+];
+
+/// Runs the experiment (never above Small scale; see module docs).
+pub fn run(session: &Session, scale: Scale) -> Vec<Table> {
+    let scale = if scale == Scale::Tiny {
+        Scale::Tiny
+    } else {
+        Scale::Small
+    };
+    let cfg = scale.config();
+    let suite = session.suite(scale);
+    let mut cells = Vec::new();
+    for entry in &suite {
+        let prefix = format!("fig15/{}/{}", scale.name(), entry.which);
+        let drrip = PolicySpec::Baseline(PolicyKind::Drrip);
+        cells.push(session.sim(
+            format!("{prefix}/{}", drrip.cell_tag()),
+            App::Pagerank,
+            entry,
+            &cfg,
+            &drrip,
+        ));
+        for quant in QUANTS {
+            let spec = PolicySpec::Popt {
+                quant,
+                encoding: Encoding::InterIntra,
+                limit_study: true,
+            };
+            cells.push(session.sim(
+                format!("{prefix}/{}", spec.cell_tag()),
+                App::Pagerank,
+                entry,
+                &cfg,
+                &spec,
+            ));
+        }
+        cells.push(session.sim(
+            format!("{prefix}/{}", PolicySpec::Topt.cell_tag()),
+            App::Pagerank,
+            entry,
+            &cfg,
+            &PolicySpec::Topt,
+        ));
+    }
+    let mut results = session.run(cells).into_iter();
     let mut table = Table::new(
         "Figure 15: quantization limit study, PageRank (miss reduction vs DRRIP; tie rate)",
         &[
             "graph", "4-bit", "tie%", "8-bit", "tie%", "16-bit", "tie%", "T-OPT",
         ],
     );
-    for (name, g) in suite(Scale::Small) {
-        let drrip = simulate(
-            App::Pagerank,
-            &g,
-            &cfg,
-            &PolicySpec::Baseline(PolicyKind::Drrip),
-        );
-        let mut row = vec![name.to_string()];
-        for quant in [
-            Quantization::FOUR,
-            Quantization::EIGHT,
-            Quantization::SIXTEEN,
-        ] {
-            let spec = PolicySpec::Popt {
-                quant,
-                encoding: Encoding::InterIntra,
-                limit_study: true,
-            };
-            let stats = simulate(App::Pagerank, &g, &cfg, &spec);
+    for entry in &suite {
+        let drrip = results.next().expect("one result per cell");
+        let mut row = vec![entry.which.to_string()];
+        for _ in QUANTS {
+            let stats = results.next().expect("one result per cell");
             let reduction = 1.0 - stats.llc.misses as f64 / drrip.llc.misses.max(1) as f64;
             let tie_rate = stats.overheads.ties as f64 / stats.overheads.decisions.max(1) as f64;
             row.push(pct(reduction));
             row.push(pct(tie_rate));
         }
-        let topt = simulate(App::Pagerank, &g, &cfg, &PolicySpec::Topt);
+        let topt = results.next().expect("one result per cell");
         row.push(pct(
             1.0 - topt.llc.misses as f64 / drrip.llc.misses.max(1) as f64
         ));
@@ -64,6 +96,7 @@ pub fn run(_scale: Scale) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::simulate;
     use popt_graph::suite::{suite_graph, SuiteGraph, SuiteScale};
     use popt_sim::HierarchyConfig;
 

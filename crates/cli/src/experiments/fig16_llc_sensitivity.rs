@@ -4,49 +4,79 @@
 //! capacity (the reserved-column fraction shrinks) and with associativity
 //! (more eviction candidates per decision).
 
-use crate::experiments::{geomean, suite};
-use crate::runner::{simulate, PolicySpec};
+use crate::exec::{Session, SuiteEntry};
+use crate::experiments::geomean;
+use crate::runner::PolicySpec;
 use crate::table::{pct, Table};
 use crate::Scale;
 use popt_kernels::App;
-use popt_sim::{HierarchyConfig, PolicyKind};
+use popt_sim::{HierarchyConfig, HierarchyStats, PolicyKind};
 
 /// LLC capacities swept, as multiples of the scaled default (256 KB).
 pub const SIZE_FACTORS: [usize; 4] = [1, 2, 4, 8];
 /// Associativities swept.
 pub const ASSOCIATIVITIES: [usize; 3] = [8, 16, 32];
 
-fn reduction_for(
+fn submit_reduction_cells(
+    session: &Session,
+    cells: &mut Vec<popt_harness::SweepCell<'static>>,
+    prefix: &str,
     cfg: &HierarchyConfig,
-    graphs: &[(popt_graph::suite::SuiteGraph, popt_graph::Graph)],
+    suite: &[SuiteEntry],
+) {
+    for entry in suite {
+        for spec in [
+            PolicySpec::Baseline(PolicyKind::Drrip),
+            PolicySpec::popt_default(),
+        ] {
+            cells.push(session.sim(
+                format!("{prefix}/{}/{}", entry.which, spec.cell_tag()),
+                App::Pagerank,
+                entry,
+                cfg,
+                &spec,
+            ));
+        }
+    }
+}
+
+fn consume_reduction(
+    results: &mut impl Iterator<Item = HierarchyStats>,
+    suite: &[SuiteEntry],
 ) -> f64 {
     let mut ratios = Vec::new();
-    for (_, g) in graphs {
-        let drrip = simulate(
-            App::Pagerank,
-            g,
-            cfg,
-            &PolicySpec::Baseline(PolicyKind::Drrip),
-        );
-        let popt = simulate(App::Pagerank, g, cfg, &PolicySpec::popt_default());
+    for _ in suite {
+        let drrip = results.next().expect("one result per cell");
+        let popt = results.next().expect("one result per cell");
         ratios.push(popt.llc.misses as f64 / drrip.llc.misses.max(1) as f64);
     }
     1.0 - geomean(&ratios)
 }
 
 /// Runs the experiment.
-pub fn run(scale: Scale) -> Vec<Table> {
-    let graphs = suite(scale);
+pub fn run(session: &Session, scale: Scale) -> Vec<Table> {
+    let suite = session.suite(scale);
     let base = 128 * 1024;
+    let mut cells = Vec::new();
+    for factor in SIZE_FACTORS {
+        let cfg = HierarchyConfig::scaled_with_llc(base * factor, 16);
+        let prefix = format!("fig16a/{}/llc{}kb", scale.name(), base * factor / 1024);
+        submit_reduction_cells(session, &mut cells, &prefix, &cfg, &suite);
+    }
+    for ways in ASSOCIATIVITIES {
+        let cfg = HierarchyConfig::scaled_with_llc(256 * 1024, ways);
+        let prefix = format!("fig16b/{}/w{ways}", scale.name());
+        submit_reduction_cells(session, &mut cells, &prefix, &cfg, &suite);
+    }
+    let mut results = session.run(cells).into_iter();
     let mut size = Table::new(
         "Figure 16a: P-OPT miss reduction vs DRRIP across LLC capacities (PageRank, geomean)",
         &["llc", "miss reduction"],
     );
     for factor in SIZE_FACTORS {
-        let cfg = HierarchyConfig::scaled_with_llc(base * factor, 16);
         size.row(vec![
             format!("{}KB", base * factor / 1024),
-            pct(reduction_for(&cfg, &graphs)),
+            pct(consume_reduction(&mut results, &suite)),
         ]);
     }
     let mut assoc = Table::new(
@@ -54,8 +84,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
         &["ways", "miss reduction"],
     );
     for ways in ASSOCIATIVITIES {
-        let cfg = HierarchyConfig::scaled_with_llc(256 * 1024, ways);
-        assoc.row(vec![ways.to_string(), pct(reduction_for(&cfg, &graphs))]);
+        assoc.row(vec![
+            ways.to_string(),
+            pct(consume_reduction(&mut results, &suite)),
+        ]);
     }
     vec![size, assoc]
 }
@@ -63,6 +95,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::simulate;
     use popt_graph::suite::{suite_graph, SuiteGraph, SuiteScale};
 
     #[test]

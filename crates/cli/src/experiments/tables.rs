@@ -1,16 +1,17 @@
 //! Tables I–IV: configuration inventory, application inventory, graph
 //! inventory, and the P-OPT preprocessing cost measurement.
 
+use crate::exec::Session;
 use crate::table::{f2, Table};
 use crate::Scale;
 use popt_core::{Encoding, Quantization};
-use popt_graph::suite::{suite_graph, table3_rows, SuiteGraph};
+use popt_graph::suite::{table3_rows, SuiteGraph};
 use popt_kernels::{pagerank, App};
 use popt_sim::HierarchyConfig;
 use std::time::Instant;
 
 /// Table I: simulation parameters (paper values and our scaled values).
-pub fn table1(_scale: Scale) -> Vec<Table> {
+pub fn table1(_session: &Session, _scale: Scale) -> Vec<Table> {
     let paper = HierarchyConfig::paper_table1();
     let scaled = HierarchyConfig::scaled_table1();
     let mut t = Table::new(
@@ -72,7 +73,7 @@ pub fn table1(_scale: Scale) -> Vec<Table> {
 }
 
 /// Table II: application inventory.
-pub fn table2(_scale: Scale) -> Vec<Table> {
+pub fn table2(_session: &Session, _scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "Table II: applications",
         &["app", "irregData elem", "style", "transpose", "frontier"],
@@ -105,7 +106,7 @@ pub fn table2(_scale: Scale) -> Vec<Table> {
 }
 
 /// Table III: input graph inventory with structural statistics.
-pub fn table3(scale: Scale) -> Vec<Table> {
+pub fn table3(_session: &Session, scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "Table III: input graphs (scaled stand-ins)",
         &[
@@ -133,14 +134,16 @@ pub fn table3(scale: Scale) -> Vec<Table> {
 /// Table IV: Rereference Matrix preprocessing cost vs a native PageRank
 /// run — both measured in wall-clock on the host, like the paper's
 /// real-machine measurement.
-pub fn table4(scale: Scale) -> Vec<Table> {
+/// Timing-sensitive: always measures on the caller's thread, never
+/// through the sweep pool (wall-clock contention would skew the ratio).
+pub fn table4(session: &Session, scale: Scale) -> Vec<Table> {
     let threads = crate::runner::preprocess_threads();
     let mut t = Table::new(
         format!("Table IV: P-OPT preprocessing cost ({threads} threads)"),
         &["graph", "preprocess (ms)", "pagerank (ms)", "ratio"],
     );
     for which in SuiteGraph::ALL {
-        let g = suite_graph(which, scale.suite());
+        let g = session.graph(which, scale).graph;
         let (_, report) = popt_core::preprocess::timed_build(
             g.out_csr(),
             16,
@@ -171,9 +174,10 @@ mod tests {
 
     #[test]
     fn tables_render_without_panicking() {
-        assert_eq!(table1(Scale::Small)[0].rows.len(), 10);
-        assert_eq!(table2(Scale::Small)[0].rows.len(), 5);
-        assert_eq!(table3(Scale::Small)[0].rows.len(), 5);
+        let session = Session::serial();
+        assert_eq!(table1(&session, Scale::Small)[0].rows.len(), 10);
+        assert_eq!(table2(&session, Scale::Small)[0].rows.len(), 5);
+        assert_eq!(table3(&session, Scale::Small)[0].rows.len(), 5);
     }
 
     #[test]
@@ -181,7 +185,7 @@ mod tests {
         // The paper's Table IV point: matrix construction is a fraction of
         // one application run. At Small scale, allow generous slack for
         // timer noise — it must at least be the same order of magnitude.
-        let tables = table4(Scale::Small);
+        let tables = table4(&Session::serial(), Scale::Small);
         assert_eq!(tables[0].rows.len(), 5);
     }
 }

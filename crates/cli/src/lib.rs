@@ -11,14 +11,18 @@
 //! simulation — including the P-OPT preprocessing, way reservation and
 //! Belady's two-pass oracle where applicable.
 
+pub mod exec;
 pub mod experiments;
 pub mod runner;
+pub mod sweep;
 pub mod table;
 
-/// Experiment scale: `Small` for smoke tests / CI, `Standard` for the
-/// numbers recorded in `EXPERIMENTS.md`.
+/// Experiment scale: `Tiny` for CI smoke sweeps, `Small` for smoke tests /
+/// CI, `Standard` for the numbers recorded in `EXPERIMENTS.md`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// Tiny suite graphs (sub-second per figure; CI smoke sweeps).
+    Tiny,
     /// Small suite graphs (seconds per figure).
     Small,
     /// Standard suite graphs (minutes for the full set).
@@ -26,20 +30,41 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// Stable lower-case name, used in cell ids and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Standard => "standard",
+        }
+    }
+
+    /// Parses a `--scale` argument value.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "standard" => Some(Scale::Standard),
+            _ => None,
+        }
+    }
+
     /// The matching graph-suite scale.
     pub fn suite(&self) -> popt_graph::suite::SuiteScale {
         match self {
+            Scale::Tiny => popt_graph::suite::SuiteScale::Tiny,
             Scale::Small => popt_graph::suite::SuiteScale::Small,
             Scale::Standard => popt_graph::suite::SuiteScale::Standard,
         }
     }
 
     /// The matching hierarchy configuration: the scaled Table I hierarchy
-    /// for Standard graphs, and a miniature one for Small graphs, keeping
-    /// the irregular-footprint-to-LLC ratio in the paper's band either way.
+    /// for Standard graphs, and a miniature one for Small and Tiny graphs,
+    /// keeping the irregular-footprint-to-LLC ratio in the paper's band
+    /// either way.
     pub fn config(&self) -> popt_sim::HierarchyConfig {
         match self {
-            Scale::Small => popt_sim::HierarchyConfig::small_test(),
+            Scale::Tiny | Scale::Small => popt_sim::HierarchyConfig::small_test(),
             Scale::Standard => popt_sim::HierarchyConfig::scaled_table1(),
         }
     }

@@ -3,8 +3,9 @@
 //! Usage:
 //!
 //! ```text
-//! experiments <exp> [--small] [--out DIR]
-//! experiments all   [--small] [--out DIR]
+//! experiments <exp> [--scale tiny|small|standard] [--small] [--jobs N] [--out DIR]
+//! experiments all   [--scale S] [--jobs N] [--out DIR]
+//! experiments sweep [exp...] [--scale S] [--jobs N] [--out DIR]
 //! experiments list
 //! ```
 //!
@@ -14,162 +15,137 @@
 //! zoo) ext4 (context switches) ext5 (tie-break ablation) ext6 (huge-page
 //! requirement). Results are printed and written as `.txt`/`.csv` under
 //! `--out` (default `results/`).
+//!
+//! `sweep` runs the selected experiments (default: all) through the
+//! orchestration harness: cells scheduled across `--jobs` workers, shared
+//! prerequisites deduped through an on-disk artifact cache, and a resume
+//! journal so a killed sweep restarted with the same arguments finishes
+//! only the unfinished cells. Output CSVs are byte-identical to the serial
+//! runs at any `--jobs` level.
 
-use popt_cli::experiments::*;
-use popt_cli::table::Table;
+use popt_cli::exec::Session;
+use popt_cli::experiments::{emit_tables, find_experiment, Runner, EXPERIMENTS};
+use popt_cli::sweep::{run_sweep, SweepOptions};
 use popt_cli::Scale;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-type Runner = fn(Scale) -> Vec<Table>;
-
-/// Registered experiments: (name, description, runner).
-const EXPERIMENTS: &[(&str, &str, Runner)] = &[
-    ("table1", "simulation parameters", tables::table1),
-    ("table2", "application inventory", tables::table2),
-    ("table3", "input graph inventory", tables::table3),
-    ("table4", "P-OPT preprocessing cost", tables::table4),
-    (
-        "fig2",
-        "baseline policies MPKI (PR)",
-        fig02_baseline_mpki::run,
-    ),
-    ("fig4", "T-OPT MPKI (PR)", fig04_topt_mpki::run),
-    ("fig7", "Rereference Matrix encodings", fig07_encodings::run),
-    (
-        "fig10",
-        "main result: speedups + miss reductions",
-        fig10_main::run,
-    ),
-    (
-        "fig11",
-        "graph-size scaling: P-OPT vs P-OPT-SE",
-        fig11_graph_size::run,
-    ),
-    (
-        "fig12",
-        "prior work: GRASP and HATS-BDFS",
-        fig12_prior_work::run,
-    ),
-    ("fig13", "CSR-segmenting interaction", fig13_tiling::run),
-    ("fig14", "PB and PHI interaction", fig14_pb_phi::run),
-    ("fig15", "quantization sensitivity", fig15_quantization::run),
-    (
-        "fig16",
-        "LLC size/associativity sensitivity",
-        fig16_llc_sensitivity::run,
-    ),
-    (
-        "ext1",
-        "extension: parallel execution (Sec V-F)",
-        extensions::ext_parallel,
-    ),
-    (
-        "ext2",
-        "extension: matrix-driven prefetching (Sec VIII)",
-        extensions::ext_prefetch,
-    ),
-    (
-        "ext3",
-        "extension: full policy zoo incl. SDBP + OPT",
-        extensions::ext_zoo,
-    ),
-    (
-        "ext4",
-        "extension: context switches (Sec V-F)",
-        extensions::ext_context_switch,
-    ),
-    (
-        "ext5",
-        "extension: P-OPT tie-break ablation",
-        extensions::ext_tiebreak,
-    ),
-    (
-        "ext6",
-        "extension: huge-page requirement (Sec V-B)",
-        extensions::ext_hugepage,
-    ),
-];
-
 fn usage() {
-    eprintln!("usage: experiments <exp>|all|list [--small] [--out DIR]");
+    eprintln!("usage: experiments <exp>|all|list [--scale S] [--small] [--jobs N] [--out DIR]");
+    eprintln!("       experiments sweep [exp...] [--scale S] [--jobs N] [--out DIR]");
     eprintln!("experiments:");
     for (name, desc, _) in EXPERIMENTS {
         eprintln!("  {name:8} {desc}");
     }
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = Scale::Standard;
-    let mut out = PathBuf::from("results");
-    let mut selected: Option<String> = None;
+struct Cli {
+    scale: Scale,
+    jobs: usize,
+    out: Option<PathBuf>,
+    names: Vec<String>,
+}
+
+fn parse_args(args: Vec<String>) -> Result<Option<Cli>, String> {
+    let mut cli = Cli {
+        scale: Scale::Standard,
+        jobs: 1,
+        out: None,
+        names: Vec::new(),
+    };
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--small" => scale = Scale::Small,
-            "--out" => match iter.next() {
-                Some(dir) => out = PathBuf::from(dir),
-                None => {
-                    eprintln!("--out needs a directory");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--help" | "-h" => {
-                usage();
-                return ExitCode::SUCCESS;
+            "--small" => cli.scale = Scale::Small,
+            "--scale" => {
+                let v = iter.next().ok_or("--scale needs tiny|small|standard")?;
+                cli.scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale: {v}"))?;
             }
-            name if selected.is_none() && !name.starts_with('-') => {
-                selected = Some(name.to_string())
+            "--jobs" => {
+                let v = iter.next().ok_or("--jobs needs a positive integer")?;
+                cli.jobs = popt_cli::runner::parse_threads(&v)
+                    .ok_or_else(|| format!("bad --jobs value: {v}"))?;
             }
-            other => {
-                eprintln!("unknown argument: {other}");
-                usage();
-                return ExitCode::FAILURE;
+            "--out" => {
+                cli.out = Some(PathBuf::from(iter.next().ok_or("--out needs a directory")?));
             }
+            "--help" | "-h" => return Ok(None),
+            name if !name.starts_with('-') => cli.names.push(name.to_string()),
+            other => return Err(format!("unknown argument: {other}")),
         }
     }
-    let Some(selected) = selected else {
+    Ok(Some(cli))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(args) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => {
+            usage();
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some((first, rest)) = cli.names.split_first() else {
         usage();
         return ExitCode::FAILURE;
     };
-    if selected == "list" {
-        usage();
-        return ExitCode::SUCCESS;
-    }
-    // fig12a / fig12b are aliases for the combined fig12 module.
-    let canonical = match selected.as_str() {
-        "fig12a" | "fig12b" => "fig12",
-        other => other,
-    };
-    let to_run: Vec<&(&str, &str, Runner)> = if canonical == "all" {
-        EXPERIMENTS.iter().collect()
-    } else {
-        match EXPERIMENTS.iter().find(|(name, _, _)| *name == canonical) {
-            Some(e) => vec![e],
-            None => {
-                eprintln!("unknown experiment: {selected}");
+    match first.as_str() {
+        "list" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        "sweep" => {
+            let opts = SweepOptions {
+                scale: cli.scale,
+                jobs: cli.jobs,
+                out: cli.out.unwrap_or_else(|| PathBuf::from("results/sweep")),
+                only: rest.to_vec(),
+            };
+            match run_sweep(&opts) {
+                Ok(_) => ExitCode::SUCCESS,
+                Err(err) => {
+                    eprintln!("sweep failed: {err}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        selected => {
+            if !rest.is_empty() {
+                eprintln!("only one experiment may be named (or use: sweep {selected} ...)");
                 usage();
                 return ExitCode::FAILURE;
             }
-        }
-    };
-    for (name, desc, runner) in to_run {
-        eprintln!(">>> {name}: {desc} ({scale:?} scale)");
-        let started = std::time::Instant::now();
-        let tables = runner(scale);
-        for (i, table) in tables.iter().enumerate() {
-            let file = if tables.len() == 1 {
-                (*name).to_string()
+            let to_run: Vec<&(&str, &str, Runner)> = if selected == "all" {
+                EXPERIMENTS.iter().collect()
             } else {
-                format!("{name}_{}", (b'a' + i as u8) as char)
+                match find_experiment(selected) {
+                    Some(e) => vec![e],
+                    None => {
+                        eprintln!("unknown experiment: {selected}");
+                        usage();
+                        return ExitCode::FAILURE;
+                    }
+                }
             };
-            if let Err(err) = table.emit(&out, &file) {
-                eprintln!("failed to write {file}: {err}");
-                return ExitCode::FAILURE;
+            let out = cli.out.unwrap_or_else(|| PathBuf::from("results"));
+            let session = Session::parallel(cli.jobs);
+            for (name, desc, runner) in to_run {
+                eprintln!(">>> {name}: {desc} ({:?} scale)", cli.scale);
+                let started = std::time::Instant::now();
+                let tables = runner(&session, cli.scale);
+                if let Err(err) = emit_tables(&tables, &out, name) {
+                    eprintln!("failed to write {name}: {err}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("<<< {name} done in {:.1}s", started.elapsed().as_secs_f64());
             }
+            ExitCode::SUCCESS
         }
-        eprintln!("<<< {name} done in {:.1}s", started.elapsed().as_secs_f64());
     }
-    ExitCode::SUCCESS
 }

@@ -3,6 +3,7 @@
 
 use popt_core::{Encoding, Popt, PoptConfig, Quantization, StreamBinding, Topt};
 use popt_graph::{Graph, VertexId};
+use popt_harness::{ArtifactCache, ArtifactKey, ArtifactKind};
 use popt_kernels::{App, TracePlan};
 use popt_sim::policies::{Belady, Grasp, GraspRegions};
 use popt_sim::{Hierarchy, HierarchyConfig, HierarchyStats, PolicyKind, TimingModel};
@@ -67,13 +68,89 @@ impl PolicySpec {
             PolicySpec::Grasp { .. } => "GRASP".to_string(),
         }
     }
+
+    /// Stable, path-safe tag for sweep cell ids. Unlike [`label`], this
+    /// distinguishes every spec variant (quantization, limit-study mode,
+    /// GRASP boundaries) so that two distinct simulations can never share
+    /// a cell id.
+    ///
+    /// [`label`]: PolicySpec::label
+    pub fn cell_tag(&self) -> String {
+        match self {
+            PolicySpec::Baseline(kind) => kind.label().to_lowercase(),
+            PolicySpec::Belady => "opt".to_string(),
+            PolicySpec::Topt => "topt".to_string(),
+            PolicySpec::Popt {
+                quant,
+                encoding,
+                limit_study,
+            } => format!(
+                "popt-q{}-{}{}",
+                quant.bits(),
+                encoding_tag(*encoding),
+                if *limit_study { "-limit" } else { "" }
+            ),
+            PolicySpec::Grasp { hot_end, warm_end } => {
+                format!("grasp-h{hot_end}-w{warm_end}")
+            }
+        }
+    }
+}
+
+/// Short stable tag for an encoding, used in cell ids and cache keys.
+fn encoding_tag(encoding: Encoding) -> &'static str {
+    match encoding {
+        Encoding::InterOnly => "io",
+        Encoding::InterIntra => "ii",
+        Encoding::SingleEpoch => "se",
+    }
+}
+
+/// Parses a thread-count override (the `POPT_THREADS` value): a positive
+/// integer, clamped to at least 1. Returns `None` for anything that does
+/// not parse, leaving the caller on its default.
+pub fn parse_threads(s: &str) -> Option<usize> {
+    s.trim().parse::<usize>().ok().map(|n| n.max(1))
 }
 
 /// Worker threads for Rereference Matrix preprocessing.
+///
+/// Honors the `POPT_THREADS` environment variable when it holds a positive
+/// integer; otherwise falls back to the machine's available parallelism.
 pub fn preprocess_threads() -> usize {
+    if let Ok(v) = std::env::var("POPT_THREADS") {
+        if let Some(n) = parse_threads(&v) {
+            return n;
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Shared-artifact context for cache-aware simulation: the artifact cache
+/// plus the stable descriptor of the graph the matrices derive from.
+///
+/// The graph descriptor is part of every matrix cache key — two different
+/// graphs must never share a Rereference Matrix artifact.
+#[derive(Debug, Clone)]
+pub struct MatrixCtx {
+    /// The run-wide artifact cache.
+    pub cache: Arc<ArtifactCache>,
+    /// Stable descriptor of the source graph (e.g. `suite/v1/urand/small`).
+    pub graph_desc: String,
+}
+
+impl MatrixCtx {
+    /// Builds (or loads) a Rereference Matrix through the artifact cache.
+    fn matrix(
+        &self,
+        desc: &str,
+        build: impl FnOnce() -> popt_core::RerefMatrix,
+    ) -> Arc<popt_core::RerefMatrix> {
+        self.cache
+            .matrix(&ArtifactKey::new(ArtifactKind::Matrix, desc), build)
+    }
 }
 
 /// Builds the P-OPT stream bindings for a kernel's plan: one Rereference
@@ -85,34 +162,74 @@ pub fn popt_bindings(
     quant: Quantization,
     encoding: Encoding,
 ) -> Vec<StreamBinding> {
+    popt_bindings_cached(app, g, plan, quant, encoding, None)
+}
+
+/// [`popt_bindings`], with matrix construction deduped through an artifact
+/// cache when `ctx` is provided. The cache key captures every build input:
+/// source graph, traversal direction, irregular-region index, elements per
+/// line, vertices per element, quantization and encoding.
+pub fn popt_bindings_cached(
+    app: App,
+    g: &Graph,
+    plan: &TracePlan,
+    quant: Quantization,
+    encoding: Encoding,
+    ctx: Option<&MatrixCtx>,
+) -> Vec<StreamBinding> {
     let transpose = g.transpose_of(app.direction());
     plan.irregs
         .iter()
-        .map(|spec| {
+        .enumerate()
+        .map(|(i, spec)| {
             let region = plan.space.region(spec.region);
-            let matrix = popt_core::preprocess::build_parallel(
-                transpose,
-                region.elems_per_line() as u32,
-                spec.vertices_per_elem,
-                quant,
-                encoding,
-                preprocess_threads(),
-            );
+            let build = || {
+                popt_core::preprocess::build_parallel(
+                    transpose,
+                    region.elems_per_line() as u32,
+                    spec.vertices_per_elem,
+                    quant,
+                    encoding,
+                    preprocess_threads(),
+                )
+            };
+            let matrix = match ctx {
+                Some(ctx) => {
+                    let desc = format!(
+                        "rrm/v1/{}/dir={:?}/region={i}/epl={}/vpe={}/q={}/enc={}",
+                        ctx.graph_desc,
+                        app.direction(),
+                        region.elems_per_line(),
+                        spec.vertices_per_elem,
+                        quant.bits(),
+                        encoding_tag(encoding),
+                    );
+                    ctx.matrix(&desc, build)
+                }
+                None => Arc::new(build()),
+            };
             StreamBinding {
                 base: region.base(),
                 bound: region.bound(),
-                matrix: Arc::new(matrix),
+                matrix,
             }
         })
         .collect()
 }
 
 /// LLC ways that must be reserved for a set of stream bindings.
+///
+/// An empty binding set (or one whose matrices are all zero-sized) needs
+/// no reservation at all; a matrix bigger than an LLC bank is capped one
+/// way short of the full associativity so the irregular data always keeps
+/// at least one way.
 pub fn reserved_ways_for(bindings: &[StreamBinding], cfg: &HierarchyConfig) -> usize {
     let bytes: u64 = bindings.iter().map(|b| b.matrix.resident_bytes()).sum();
-    let per_bank = bytes as usize;
-    let ways = per_bank.div_ceil(cfg.llc_bank().way_bytes()).max(1);
-    ways.min(cfg.llc.ways() - 1)
+    if bytes == 0 {
+        return 0;
+    }
+    let ways = (bytes as usize).div_ceil(cfg.llc_bank().way_bytes()).max(1);
+    ways.min(cfg.llc.ways().saturating_sub(1))
 }
 
 /// Runs one full simulation and returns the hierarchy statistics.
@@ -122,6 +239,19 @@ pub fn reserved_ways_for(bindings: &[StreamBinding], cfg: &HierarchyConfig) -> u
 /// Panics if `PolicySpec::Belady` is requested with a multi-bank LLC (the
 /// oracle needs one globally-ordered LLC stream).
 pub fn simulate(app: App, g: &Graph, cfg: &HierarchyConfig, policy: &PolicySpec) -> HierarchyStats {
+    simulate_cached(app, g, cfg, policy, None)
+}
+
+/// [`simulate`], with Rereference Matrix construction deduped through an
+/// artifact cache when `ctx` is provided. Results are bit-identical to the
+/// uncached path — the cache only changes *where* matrices come from.
+pub fn simulate_cached(
+    app: App,
+    g: &Graph,
+    cfg: &HierarchyConfig,
+    policy: &PolicySpec,
+    ctx: Option<&MatrixCtx>,
+) -> HierarchyStats {
     let plan = app.plan(g);
     match policy {
         PolicySpec::Baseline(kind) => {
@@ -158,7 +288,7 @@ pub fn simulate(app: App, g: &Graph, cfg: &HierarchyConfig, policy: &PolicySpec)
             encoding,
             limit_study,
         } => {
-            let bindings = popt_bindings(app, g, &plan, *quant, *encoding);
+            let bindings = popt_bindings_cached(app, g, &plan, *quant, *encoding, ctx);
             let cfg = if *limit_study {
                 cfg.clone()
             } else {
@@ -554,6 +684,109 @@ mod tests {
         assert_eq!(limit.overheads.streamed_bytes, 0);
         // Limit mode has more effective capacity: misses cannot be worse.
         assert!(limit.llc.misses <= popt.llc.misses);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 12 "), Some(12));
+        assert_eq!(parse_threads("0"), Some(1), "zero clamps to one");
+        assert_eq!(parse_threads(""), None);
+        assert_eq!(parse_threads("four"), None);
+        assert_eq!(parse_threads("-2"), None);
+        assert_eq!(parse_threads("2.5"), None);
+    }
+
+    #[test]
+    fn reserved_ways_handles_empty_and_oversized_bindings() {
+        let cfg = small_cfg();
+        // Empty binding slice: nothing to pin, reserve nothing.
+        assert_eq!(reserved_ways_for(&[], &cfg), 0);
+        // A matrix far larger than the LLC bank must still leave at least
+        // one way for the irregular data.
+        let g = suite_graph(SuiteGraph::Urand, SuiteScale::Small);
+        let plan = App::Pagerank.plan(&g);
+        let bindings = popt_bindings(
+            App::Pagerank,
+            &g,
+            &plan,
+            Quantization::SIXTEEN,
+            Encoding::InterIntra,
+        );
+        let total: u64 = bindings.iter().map(|b| b.matrix.resident_bytes()).sum();
+        assert!(
+            total as usize > cfg.llc_bank().way_bytes(),
+            "test needs a matrix larger than one way"
+        );
+        let ways = reserved_ways_for(&bindings, &cfg);
+        assert!(ways >= 1);
+        assert!(ways < cfg.llc.ways(), "must not reserve every way");
+    }
+
+    #[test]
+    fn cell_tags_distinguish_specs() {
+        let specs = [
+            PolicySpec::Baseline(PolicyKind::Lru),
+            PolicySpec::Baseline(PolicyKind::ShipPc),
+            PolicySpec::Belady,
+            PolicySpec::Topt,
+            PolicySpec::popt_default(),
+            PolicySpec::Popt {
+                quant: Quantization::EIGHT,
+                encoding: Encoding::InterIntra,
+                limit_study: true,
+            },
+            PolicySpec::Popt {
+                quant: Quantization::FOUR,
+                encoding: Encoding::SingleEpoch,
+                limit_study: false,
+            },
+            PolicySpec::Grasp {
+                hot_end: 10,
+                warm_end: 20,
+            },
+        ];
+        let tags: std::collections::BTreeSet<String> =
+            specs.iter().map(PolicySpec::cell_tag).collect();
+        assert_eq!(tags.len(), specs.len(), "tags must be pairwise distinct");
+        assert_eq!(PolicySpec::popt_default().cell_tag(), "popt-q8-ii");
+    }
+
+    #[test]
+    fn cached_simulation_matches_uncached() {
+        let g = suite_graph(SuiteGraph::Urand, SuiteScale::Tiny);
+        let cfg = small_cfg();
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/popt-cli-test/cached-sim");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Arc::new(ArtifactCache::open(&dir).unwrap());
+        let ctx = MatrixCtx {
+            cache: Arc::clone(&cache),
+            graph_desc: "test/urand/tiny".to_string(),
+        };
+        let plain = simulate(App::Pagerank, &g, &cfg, &PolicySpec::popt_default());
+        let cached = simulate_cached(
+            App::Pagerank,
+            &g,
+            &cfg,
+            &PolicySpec::popt_default(),
+            Some(&ctx),
+        );
+        assert_eq!(plain, cached);
+        let first = cache.counters();
+        assert!(first.matrix_builds > 0);
+        // Second cached run: pure hits, same result.
+        let again = simulate_cached(
+            App::Pagerank,
+            &g,
+            &cfg,
+            &PolicySpec::popt_default(),
+            Some(&ctx),
+        );
+        assert_eq!(plain, again);
+        let second = cache.counters();
+        assert_eq!(second.matrix_builds, first.matrix_builds, "no rebuild");
+        assert!(second.matrix_hits > first.matrix_hits);
     }
 
     #[test]

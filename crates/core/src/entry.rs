@@ -39,7 +39,9 @@ impl Encoding {
     /// ("the range of next references tracked in P-OPT-SE is halved from
     /// 128 to 64").
     pub fn max_distance(&self, quant: Quantization) -> u16 {
-        (1u16 << self.payload_bits(quant)) - 1
+        // Widened shift: 16 payload bits (inter-only at 16-bit
+        // quantization) would overflow a u16 shift.
+        cast::exact::<u16, u32>((1u32 << self.payload_bits(quant)) - 1)
     }
 
     /// Sub-epochs per epoch under this encoding (meaningless for

@@ -172,14 +172,19 @@ mod tests {
     use popt_graph::generators;
 
     #[test]
-    fn round_trip_preserves_every_encoding() {
+    fn round_trip_preserves_every_encoding_and_quantization() {
         let g = generators::uniform_random(500, 3000, 7);
+        let mut covered = 0;
         for encoding in [
             Encoding::InterOnly,
             Encoding::InterIntra,
             Encoding::SingleEpoch,
         ] {
-            for quant in [Quantization::FOUR, Quantization::EIGHT] {
+            for quant in [
+                Quantization::FOUR,
+                Quantization::EIGHT,
+                Quantization::SIXTEEN,
+            ] {
                 if encoding.payload_bits(quant) == 0 {
                     continue;
                 }
@@ -188,8 +193,12 @@ mod tests {
                 write_matrix(&m, &mut buf).unwrap();
                 let back = read_matrix(&buf[..]).unwrap();
                 assert_eq!(m, back, "{encoding} q{}", quant.bits());
+                assert_eq!(back.quantization(), quant);
+                assert_eq!(back.encoding(), encoding);
+                covered += 1;
             }
         }
+        assert_eq!(covered, 9, "all encoding x quantization combinations");
     }
 
     #[test]

@@ -61,11 +61,24 @@ impl std::fmt::Display for SuiteGraph {
 /// every structural property.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SuiteScale {
+    /// ~1–2 K vertices; for CI smoke sweeps where wall-time dominates.
+    Tiny,
     /// ~8–16 K vertices; for tests.
     Small,
     /// ~131–262 K vertices; for experiments (matches the paper's
     /// footprint-to-LLC ratio against the scaled 256 KB LLC).
     Standard,
+}
+
+impl SuiteScale {
+    /// Stable lower-case name, used in artifact-cache descriptors.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SuiteScale::Tiny => "tiny",
+            SuiteScale::Small => "small",
+            SuiteScale::Standard => "standard",
+        }
+    }
 }
 
 /// Base RNG seed for suite graphs; fixed so results are reproducible.
@@ -92,11 +105,17 @@ pub fn suite_graph(which: SuiteGraph, scale: SuiteScale) -> Graph {
         (SuiteGraph::Dbp, SuiteScale::Small) => {
             generators::rmat(13, 61_440, RmatParams::POWER_LAW, seed)
         }
+        (SuiteGraph::Dbp, SuiteScale::Tiny) => {
+            generators::rmat(10, 7_680, RmatParams::POWER_LAW, seed)
+        }
         (SuiteGraph::Uk02, SuiteScale::Standard) => {
             generators::community(131_072, 2_097_152, 512, 0.95, seed)
         }
         (SuiteGraph::Uk02, SuiteScale::Small) => {
             generators::community(8_192, 131_072, 64, 0.95, seed)
+        }
+        (SuiteGraph::Uk02, SuiteScale::Tiny) => {
+            generators::community(1_024, 16_384, 16, 0.95, seed)
         }
         (SuiteGraph::Kron, SuiteScale::Standard) => {
             generators::rmat(18, 1_048_576, RmatParams::KRONECKER, seed)
@@ -104,15 +123,22 @@ pub fn suite_graph(which: SuiteGraph, scale: SuiteScale) -> Graph {
         (SuiteGraph::Kron, SuiteScale::Small) => {
             generators::rmat(14, 65_536, RmatParams::KRONECKER, seed)
         }
+        (SuiteGraph::Kron, SuiteScale::Tiny) => {
+            generators::rmat(11, 8_192, RmatParams::KRONECKER, seed)
+        }
         (SuiteGraph::Urand, SuiteScale::Standard) => {
             generators::uniform_random(262_144, 1_048_576, seed)
         }
         (SuiteGraph::Urand, SuiteScale::Small) => generators::uniform_random(16_384, 65_536, seed),
+        (SuiteGraph::Urand, SuiteScale::Tiny) => generators::uniform_random(2_048, 8_192, seed),
         (SuiteGraph::Hbubl, SuiteScale::Standard) => {
             partial_shuffle(generators::mesh(408, 0, seed), 0.3, seed)
         }
         (SuiteGraph::Hbubl, SuiteScale::Small) => {
             partial_shuffle(generators::mesh(102, 0, seed), 0.3, seed)
+        }
+        (SuiteGraph::Hbubl, SuiteScale::Tiny) => {
+            partial_shuffle(generators::mesh(36, 0, seed), 0.3, seed)
         }
     }
 }
@@ -140,27 +166,37 @@ fn partial_shuffle(g: Graph, fraction: f64, seed: u64) -> Graph {
     g.relabel(&perm)
 }
 
+/// Vertex counts of the Figure 11 graph-size scaling study at each scale.
+pub fn scaling_sizes(scale: SuiteScale) -> &'static [usize] {
+    match scale {
+        SuiteScale::Tiny => &[512, 1_024, 2_048, 4_096],
+        SuiteScale::Small => &[4_096, 8_192, 16_384, 32_768],
+        SuiteScale::Standard => &[65_536, 131_072, 262_144, 524_288, 1_048_576],
+    }
+}
+
+/// Figure label for a scaling-series graph of `v` vertices.
+pub fn scaling_label(v: usize) -> String {
+    if v >= 1 << 20 {
+        format!("urand{}m", v >> 20)
+    } else {
+        format!("urand{}k", v >> 10)
+    }
+}
+
+/// One scaling-series point: a uniform-random graph of `v` vertices with
+/// the paper's URAND average degree (4). Deterministic in `v`.
+pub fn scaling_graph(v: usize) -> Graph {
+    generators::uniform_random(v, v * 4, SUITE_SEED ^ v as u64)
+}
+
 /// A series of uniform-random graphs of increasing vertex count with the
 /// paper's URAND average degree (4), used by the Figure 11 graph-size
 /// scaling study. Returns `(label, graph)` pairs.
 pub fn scaling_series(scale: SuiteScale) -> Vec<(String, Graph)> {
-    let sizes: &[usize] = match scale {
-        SuiteScale::Small => &[4_096, 8_192, 16_384, 32_768],
-        SuiteScale::Standard => &[65_536, 131_072, 262_144, 524_288, 1_048_576],
-    };
-    sizes
+    scaling_sizes(scale)
         .iter()
-        .map(|&v| {
-            let label = if v >= 1 << 20 {
-                format!("urand{}m", v >> 20)
-            } else {
-                format!("urand{}k", v >> 10)
-            };
-            (
-                label,
-                generators::uniform_random(v, v * 4, SUITE_SEED ^ v as u64),
-            )
-        })
+        .map(|&v| (scaling_label(v), scaling_graph(v)))
         .collect()
 }
 
@@ -205,6 +241,35 @@ mod tests {
         assert!((urand.average_degree() - 4.0).abs() < 0.5);
         let hbubl = suite_graph(SuiteGraph::Hbubl, SuiteScale::Standard);
         assert!((hbubl.average_degree() - 4.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn tiny_scale_is_deterministic_and_small() {
+        for &which in &SuiteGraph::ALL {
+            let a = suite_graph(which, SuiteScale::Tiny);
+            let b = suite_graph(which, SuiteScale::Tiny);
+            assert_eq!(a, b, "{which} not deterministic at tiny scale");
+            let small = suite_graph(which, SuiteScale::Small);
+            assert!(
+                a.num_vertices() < small.num_vertices(),
+                "{which}: tiny ({}) must undercut small ({})",
+                a.num_vertices(),
+                small.num_vertices()
+            );
+            assert!(a.num_edges() > 0);
+        }
+    }
+
+    #[test]
+    fn scaling_labels_match_series() {
+        let series = scaling_series(SuiteScale::Tiny);
+        let sizes = scaling_sizes(SuiteScale::Tiny);
+        assert_eq!(series.len(), sizes.len());
+        for ((label, g), &v) in series.iter().zip(sizes) {
+            assert_eq!(label, &scaling_label(v));
+            assert_eq!(g.num_vertices(), v);
+            assert_eq!(g, &scaling_graph(v));
+        }
     }
 
     #[test]

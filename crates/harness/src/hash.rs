@@ -1,0 +1,106 @@
+//! Stable content hashing for artifact keys and result digests.
+//!
+//! `std::hash` offers no cross-run stability guarantee (`SipHash` keys are
+//! per-process), so cache file names and manifest digests use a fixed
+//! FNV-1a over an explicitly-ordered byte stream instead. The hash is
+//! versioned through the descriptor strings fed into it (`"rrm/v1/…"`),
+//! not through this module: changing the algorithm here invalidates every
+//! on-disk artifact, so don't.
+
+/// 64-bit FNV-1a over caller-ordered input.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl StableHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` as little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a string, length-prefixed so `("ab","c")` and `("a","bc")`
+    /// hash differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+/// Hashes one string (the common artifact-key case).
+pub fn hash_str(s: &str) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str(s);
+    h.finish()
+}
+
+/// Renders a hash as 16 lowercase hex digits (stable file-name form).
+pub fn hex16(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a("a") — the classic published test vector.
+        let mut h = StableHasher::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn stable_across_calls() {
+        assert_eq!(
+            hash_str("rrm/v1/suite/urand"),
+            hash_str("rrm/v1/suite/urand")
+        );
+        assert_ne!(hash_str("a"), hash_str("b"));
+    }
+
+    #[test]
+    fn length_prefix_disambiguates() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(hex16(0xabc), "0000000000000abc");
+        assert_eq!(hex16(u64::MAX).len(), 16);
+    }
+}

@@ -1,0 +1,640 @@
+//! The JSONL run manifest: the journal that makes sweeps resumable.
+//!
+//! One line per completed cell, appended and flushed the moment the cell
+//! finishes, so a killed sweep loses at most the cells that were actually
+//! in flight. On restart the manifest is replayed: completed cells return
+//! their recorded stats without re-simulating. A partial final line (the
+//! kill landed mid-write) is detected via the per-record digest and
+//! discarded.
+//!
+//! On *successful* completion the manifest is canonicalized — rewritten
+//! with records sorted by cell id — so two runs of the same sweep produce
+//! byte-identical manifests regardless of the completion order their
+//! schedulers happened to pick. Wall-clock times deliberately stay out of
+//! the manifest (they live in the sweep report) for the same reason.
+//!
+//! Format: a header object, then one record per line:
+//!
+//! ```text
+//! {"manifest":"popt-sweep","version":1}
+//! {"cell":"fig10/tiny/dbp/lru","digest":"<16 hex>","stats":{...}}
+//! ```
+
+use crate::hash::{hex16, StableHasher};
+use popt_sim::{CacheStats, HierarchyStats, PolicyOverheads};
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+
+const HEADER: &str = "{\"manifest\":\"popt-sweep\",\"version\":1}";
+
+/// One journaled cell result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// The sweep-unique cell id, e.g. `fig10/tiny/dbp/popt-q8-ii`.
+    pub cell: String,
+    /// The recorded simulation stats.
+    pub stats: HierarchyStats,
+}
+
+impl CellRecord {
+    fn to_line(&self) -> String {
+        format!(
+            "{{\"cell\":{},\"digest\":\"{}\",\"stats\":{}}}",
+            encode_str(&self.cell),
+            hex16(stats_digest(&self.stats)),
+            encode_stats(&self.stats)
+        )
+    }
+}
+
+/// A stable digest of a stats record; guards manifest lines against
+/// truncation/corruption and lets reports compare runs cheaply.
+pub fn stats_digest(s: &HierarchyStats) -> u64 {
+    let mut h = StableHasher::new();
+    for level in [&s.l1, &s.l2, &s.llc] {
+        for v in cache_fields(level) {
+            h.write_u64(v);
+        }
+    }
+    h.write_u64(s.instructions);
+    for v in s.bank_accesses {
+        h.write_u64(v);
+    }
+    h.write_u64(s.prefetch_fills);
+    h.write_u64(s.dram_writebacks);
+    h.write_u64(s.coherence_invalidations);
+    h.write_u64(s.overheads.streamed_bytes);
+    h.write_u64(s.overheads.matrix_lookups);
+    h.write_u64(s.overheads.ties);
+    h.write_u64(s.overheads.decisions);
+    h.finish()
+}
+
+fn cache_fields(c: &CacheStats) -> [u64; 6] {
+    [
+        c.hits,
+        c.misses,
+        c.evictions,
+        c.writebacks,
+        c.irregular_hits,
+        c.irregular_misses,
+    ]
+}
+
+fn encode_cache(c: &CacheStats) -> String {
+    let f = cache_fields(c);
+    format!("[{},{},{},{},{},{}]", f[0], f[1], f[2], f[3], f[4], f[5])
+}
+
+fn encode_stats(s: &HierarchyStats) -> String {
+    let banks: Vec<String> = s.bank_accesses.iter().map(u64::to_string).collect();
+    format!(
+        "{{\"l1\":{},\"l2\":{},\"llc\":{},\"instructions\":{},\"banks\":[{}],\
+         \"prefetch_fills\":{},\"dram_writebacks\":{},\"coherence_invalidations\":{},\
+         \"ovh\":[{},{},{},{}]}}",
+        encode_cache(&s.l1),
+        encode_cache(&s.l2),
+        encode_cache(&s.llc),
+        s.instructions,
+        banks.join(","),
+        s.prefetch_fills,
+        s.dram_writebacks,
+        s.coherence_invalidations,
+        s.overheads.streamed_bytes,
+        s.overheads.matrix_lookups,
+        s.overheads.ties,
+        s.overheads.decisions,
+    )
+}
+
+/// JSON string escape for cell ids (ids are plain ASCII by convention,
+/// but the encoder must not be the thing enforcing that).
+fn encode_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// An open, append-mode run manifest.
+#[derive(Debug)]
+pub struct Manifest {
+    path: PathBuf,
+    file: std::fs::File,
+    records: BTreeMap<String, HierarchyStats>,
+}
+
+impl Manifest {
+    /// Opens (or creates) the manifest at `path`, replaying any records a
+    /// previous run journaled. Replay stops at the first line that fails
+    /// to parse or whose digest mismatches — everything from that point on
+    /// is treated as lost to the crash and dropped from the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures opening or rewriting the file.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        let mut records = BTreeMap::new();
+        let mut valid = true;
+        if let Ok(file) = std::fs::File::open(&path) {
+            let mut lines = std::io::BufReader::new(file).lines();
+            match lines.next() {
+                Some(Ok(h)) if h == HEADER => {}
+                None => {}
+                _ => valid = false,
+            }
+            if valid {
+                for line in lines {
+                    let Ok(line) = line else {
+                        valid = false;
+                        break;
+                    };
+                    match parse_record(&line) {
+                        Some(rec) => {
+                            records.insert(rec.cell, rec.stats);
+                        }
+                        None => {
+                            valid = false;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if !valid {
+            // Salvage what replayed cleanly; drop the corrupt tail by
+            // rewriting the file from the surviving records.
+            write_canonical(&path, &records)?;
+        }
+        let exists = path.exists();
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        if !exists || std::fs::metadata(&path)?.len() == 0 {
+            writeln!(file, "{HEADER}")?;
+            file.flush()?;
+        }
+        Ok(Manifest {
+            path,
+            file,
+            records,
+        })
+    }
+
+    /// The stats a previous run recorded for `cell`, if any.
+    pub fn completed(&self, cell: &str) -> Option<&HierarchyStats> {
+        self.records.get(cell)
+    }
+
+    /// Number of replayed/recorded cells.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no cells are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Journals a completed cell: append + flush, crash-safe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures (the sweep should abort rather than run
+    /// on with a silently un-resumable journal).
+    pub fn record(&mut self, cell: &str, stats: HierarchyStats) -> std::io::Result<()> {
+        let rec = CellRecord {
+            cell: cell.to_owned(),
+            stats,
+        };
+        writeln!(self.file, "{}", rec.to_line())?;
+        self.file.flush()?;
+        self.records.insert(rec.cell, stats);
+        Ok(())
+    }
+
+    /// Rewrites the manifest in canonical order (header, then records
+    /// sorted by cell id). Call once the sweep completes successfully;
+    /// afterwards equal sweeps have byte-identical manifests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rewrite failures.
+    pub fn canonicalize(&mut self) -> std::io::Result<()> {
+        write_canonical(&self.path, &self.records)?;
+        self.file = std::fs::OpenOptions::new().append(true).open(&self.path)?;
+        Ok(())
+    }
+}
+
+fn write_canonical(path: &Path, records: &BTreeMap<String, HierarchyStats>) -> std::io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        writeln!(w, "{HEADER}")?;
+        for (cell, stats) in records {
+            let rec = CellRecord {
+                cell: cell.clone(),
+                stats: *stats,
+            };
+            writeln!(w, "{}", rec.to_line())?;
+        }
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Parses one record line; `None` on any structural problem or digest
+/// mismatch (both mean "do not trust this record").
+fn parse_record(line: &str) -> Option<CellRecord> {
+    let v = json::parse(line)?;
+    let obj = v.as_object()?;
+    let cell = obj.get("cell")?.as_str()?.to_owned();
+    let digest = obj.get("digest")?.as_str()?;
+    let s = obj.get("stats")?.as_object()?;
+    let cache = |key: &str| -> Option<CacheStats> {
+        let f = s.get(key)?.as_u64_array(6)?;
+        Some(CacheStats {
+            hits: f[0],
+            misses: f[1],
+            evictions: f[2],
+            writebacks: f[3],
+            irregular_hits: f[4],
+            irregular_misses: f[5],
+        })
+    };
+    let banks_vec = s.get("banks")?.as_u64_array(16)?;
+    let mut bank_accesses = [0u64; 16];
+    bank_accesses.copy_from_slice(&banks_vec);
+    let ovh = s.get("ovh")?.as_u64_array(4)?;
+    let stats = HierarchyStats {
+        l1: cache("l1")?,
+        l2: cache("l2")?,
+        llc: cache("llc")?,
+        instructions: s.get("instructions")?.as_u64()?,
+        bank_accesses,
+        prefetch_fills: s.get("prefetch_fills")?.as_u64()?,
+        dram_writebacks: s.get("dram_writebacks")?.as_u64()?,
+        coherence_invalidations: s.get("coherence_invalidations")?.as_u64()?,
+        overheads: PolicyOverheads {
+            streamed_bytes: ovh[0],
+            matrix_lookups: ovh[1],
+            ties: ovh[2],
+            decisions: ovh[3],
+        },
+    };
+    if digest != hex16(stats_digest(&stats)) {
+        return None;
+    }
+    Some(CellRecord { cell, stats })
+}
+
+/// A deliberately minimal JSON reader for the manifest's own dialect:
+/// objects, arrays, strings, and unsigned integers. Rejecting everything
+/// else (floats, booleans, null) is a feature — nothing we write uses
+/// them, so their presence means the file is not ours.
+mod json {
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub(super) enum Value {
+        Object(BTreeMap<String, Value>),
+        Array(Vec<Value>),
+        Str(String),
+        Num(u64),
+    }
+
+    impl Value {
+        pub(super) fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        pub(super) fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub(super) fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub(super) fn as_u64_array(&self, len: usize) -> Option<Vec<u64>> {
+            match self {
+                Value::Array(items) if items.len() == len => {
+                    items.iter().map(Value::as_u64).collect()
+                }
+                _ => None,
+            }
+        }
+    }
+
+    pub(super) fn parse(input: &str) -> Option<Value> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos == p.bytes.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn bump(&mut self) -> Option<u8> {
+            let b = self.peek()?;
+            self.pos += 1;
+            Some(b)
+        }
+
+        fn expect(&mut self, b: u8) -> Option<()> {
+            (self.bump()? == b).then_some(())
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn value(&mut self) -> Option<Value> {
+            match self.peek()? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => self.string().map(Value::Str),
+                b'0'..=b'9' => self.number(),
+                _ => None,
+            }
+        }
+
+        fn object(&mut self) -> Option<Value> {
+            self.expect(b'{')?;
+            let mut map = BTreeMap::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Some(Value::Object(map));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let val = self.value()?;
+                map.insert(key, val);
+                self.skip_ws();
+                match self.bump()? {
+                    b',' => continue,
+                    b'}' => return Some(Value::Object(map)),
+                    _ => return None,
+                }
+            }
+        }
+
+        fn array(&mut self) -> Option<Value> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Some(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.bump()? {
+                    b',' => continue,
+                    b']' => return Some(Value::Array(items)),
+                    _ => return None,
+                }
+            }
+        }
+
+        fn string(&mut self) -> Option<String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.bump()? {
+                    b'"' => return Some(out),
+                    b'\\' => match self.bump()? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let d = (self.bump()? as char).to_digit(16)?;
+                                code = code * 16 + d;
+                            }
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    },
+                    // Multi-byte UTF-8 continuation: pass through raw. The
+                    // reassembled string is validated by construction since
+                    // the input was a &str.
+                    b => {
+                        let start = self.pos - 1;
+                        let mut end = self.pos;
+                        if b >= 0x80 {
+                            while matches!(self.bytes.get(end), Some(&c) if c & 0xC0 == 0x80) {
+                                end += 1;
+                            }
+                            self.pos = end;
+                        }
+                        out.push_str(std::str::from_utf8(&self.bytes[start..end]).ok()?);
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Option<Value> {
+            let start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+            text.parse().ok().map(Value::Num)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/popt-harness-test/manifest")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("sweep_manifest.jsonl")
+    }
+
+    fn demo_stats(seed: u64) -> HierarchyStats {
+        let mut s = HierarchyStats {
+            instructions: 1000 + seed,
+            prefetch_fills: seed * 3,
+            dram_writebacks: seed / 2,
+            coherence_invalidations: seed % 5,
+            ..Default::default()
+        };
+        s.l1 = CacheStats {
+            hits: 10 * seed,
+            misses: seed,
+            evictions: seed / 3,
+            writebacks: seed / 4,
+            irregular_hits: seed / 5,
+            irregular_misses: seed / 6,
+        };
+        s.llc = CacheStats {
+            hits: 7 * seed,
+            misses: 2 * seed,
+            ..Default::default()
+        };
+        s.bank_accesses[(seed % 16) as usize] = seed;
+        s.overheads = PolicyOverheads {
+            streamed_bytes: 64 * seed,
+            matrix_lookups: 3 * seed,
+            ties: seed / 7,
+            decisions: 5 * seed,
+        };
+        s
+    }
+
+    #[test]
+    fn record_round_trips_through_encode_parse() {
+        let rec = CellRecord {
+            cell: "fig10/tiny/dbp/popt-q8-ii".to_owned(),
+            stats: demo_stats(42),
+        };
+        let parsed = parse_record(&rec.to_line()).expect("parses");
+        assert_eq!(parsed, rec);
+    }
+
+    #[test]
+    fn journal_replays_across_open() {
+        let path = scratch("replay");
+        let mut m = Manifest::open(&path).unwrap();
+        assert!(m.is_empty());
+        m.record("cell/a", demo_stats(1)).unwrap();
+        m.record("cell/b", demo_stats(2)).unwrap();
+        drop(m);
+        let m = Manifest::open(&path).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.completed("cell/a"), Some(&demo_stats(1)));
+        assert_eq!(m.completed("cell/b"), Some(&demo_stats(2)));
+        assert_eq!(m.completed("cell/c"), None);
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_not_trusted() {
+        let path = scratch("truncated");
+        let mut m = Manifest::open(&path).unwrap();
+        m.record("cell/a", demo_stats(1)).unwrap();
+        m.record("cell/b", demo_stats(2)).unwrap();
+        drop(m);
+        // Simulate a kill mid-write: chop the last line in half.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 40]).unwrap();
+        let m = Manifest::open(&path).unwrap();
+        assert_eq!(m.len(), 1);
+        assert!(m.completed("cell/a").is_some());
+        assert!(m.completed("cell/b").is_none());
+        // The corrupt tail was also dropped from the file itself, so an
+        // append after resume produces a clean journal.
+        let clean = Manifest::open(&path).unwrap();
+        assert_eq!(clean.len(), 1);
+    }
+
+    #[test]
+    fn digest_mismatch_invalidates_a_record() {
+        let rec = CellRecord {
+            cell: "x".to_owned(),
+            stats: demo_stats(9),
+        };
+        let line = rec
+            .to_line()
+            .replace("\"instructions\":1009", "\"instructions\":1010");
+        assert!(parse_record(&line).is_none());
+    }
+
+    #[test]
+    fn canonical_form_is_completion_order_independent() {
+        let a_path = scratch("canon-a");
+        let b_path = scratch("canon-b");
+        let mut a = Manifest::open(&a_path).unwrap();
+        a.record("cell/x", demo_stats(1)).unwrap();
+        a.record("cell/y", demo_stats(2)).unwrap();
+        a.canonicalize().unwrap();
+        let mut b = Manifest::open(&b_path).unwrap();
+        b.record("cell/y", demo_stats(2)).unwrap();
+        b.record("cell/x", demo_stats(1)).unwrap();
+        b.canonicalize().unwrap();
+        assert_eq!(
+            std::fs::read(&a_path).unwrap(),
+            std::fs::read(&b_path).unwrap()
+        );
+    }
+
+    #[test]
+    fn foreign_file_is_reset_to_empty() {
+        let path = scratch("foreign");
+        std::fs::write(&path, "this is not a manifest\n").unwrap();
+        let m = Manifest::open(&path).unwrap();
+        assert!(m.is_empty());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().next(), Some(HEADER));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let odd = "cell/\"quoted\"\\slash\n\ttab-π";
+        let rec = CellRecord {
+            cell: odd.to_owned(),
+            stats: demo_stats(3),
+        };
+        let parsed = parse_record(&rec.to_line()).unwrap();
+        assert_eq!(parsed.cell, odd);
+    }
+}
