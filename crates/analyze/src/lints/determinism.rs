@@ -8,6 +8,13 @@ use crate::lexer::TokenKind;
 /// Constructors whose output depends on process entropy.
 const UNSEEDED: &[&str] = &["thread_rng", "from_entropy"];
 
+/// Hash-ordered collections and the hasher types that smuggle the same
+/// per-process ordering in through a type parameter (e.g.
+/// `BTreeMap`-free code hashing keys with `RandomState` before emitting
+/// them). All of them randomize any serialization derived from their
+/// iteration order.
+const HASH_ORDERED: &[&str] = &["HashMap", "HashSet", "RandomState", "DefaultHasher"];
+
 /// Scans one file for order-instability (hash collections in ordered
 /// output paths) and unseeded randomness (everywhere except the
 /// configured generator files).
@@ -19,7 +26,7 @@ pub fn check(file: &SourceFile, config: &Config) -> Vec<Diagnostic> {
         let TokenKind::Ident(name) = &tok.kind else {
             continue;
         };
-        if ordered && !file.test_mask[i] && (name == "HashMap" || name == "HashSet") {
+        if ordered && !file.test_mask[i] && HASH_ORDERED.contains(&name.as_str()) {
             out.push(Diagnostic {
                 lint: "hashmap-in-ordered-path",
                 severity: Severity::Deny,
@@ -28,7 +35,8 @@ pub fn check(file: &SourceFile, config: &Config) -> Vec<Diagnostic> {
                 col: tok.col,
                 message: format!(
                     "`{name}` in an ordered-output path: iteration order varies per \
-                     process and breaks golden traces; use BTreeMap/BTreeSet or sort"
+                     process and breaks golden traces and byte-stable responses; \
+                     use BTreeMap/BTreeSet or sort"
                 ),
             });
         }
@@ -60,6 +68,22 @@ mod tests {
         let free = SourceFile::new("crates/sim/src/cache.rs".into(), src);
         let cfg = Config::default();
         assert_eq!(check(&ordered, &cfg).len(), 2);
+        assert!(check(&free, &cfg).is_empty());
+    }
+
+    #[test]
+    fn hasher_types_fire_in_service_response_paths() {
+        // RandomState/DefaultHasher smuggle hash ordering into otherwise
+        // BTree-based code; the service's status/metrics responses are
+        // asserted byte-stable, so they are held to the same rule.
+        let src = "use std::collections::hash_map::RandomState;\n\
+                   fn f() { let h = std::hash::DefaultHasher::new(); }";
+        let service = SourceFile::new("crates/service/src/router.rs".into(), src);
+        let cfg = Config::default();
+        let d = check(&service, &cfg);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|d| d.lint == "hashmap-in-ordered-path"));
+        let free = SourceFile::new("crates/sim/src/cache.rs".into(), src);
         assert!(check(&free, &cfg).is_empty());
     }
 

@@ -77,6 +77,14 @@ impl Session {
         self
     }
 
+    /// Injects a panic into every cell whose id contains `pattern`
+    /// (failure-path regression tooling; see [`SweepSession::with_fault`]).
+    #[must_use]
+    pub fn with_fault(mut self, pattern: impl Into<String>) -> Self {
+        self.sweep = self.sweep.with_fault(pattern);
+        self
+    }
+
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.sweep.threads()

@@ -14,6 +14,7 @@
 pub mod exec;
 pub mod experiments;
 pub mod runner;
+pub mod serve;
 pub mod sweep;
 pub mod table;
 

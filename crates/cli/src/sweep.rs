@@ -32,6 +32,9 @@ pub struct SweepOptions {
     pub out: PathBuf,
     /// Experiment names to run; empty means the full registry.
     pub only: Vec<String>,
+    /// Fault injection: panic every cell whose id contains this pattern
+    /// (exercises the failure path end to end; see `--inject-fail`).
+    pub inject_fail: Option<String>,
 }
 
 impl SweepOptions {
@@ -42,6 +45,7 @@ impl SweepOptions {
             jobs: 1,
             out: PathBuf::from("results/sweep"),
             only: Vec::new(),
+            inject_fail: None,
         }
     }
 }
@@ -53,12 +57,15 @@ impl Default for SweepOptions {
 }
 
 /// What a finished sweep did, for callers that want to assert on it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepSummary {
     /// Cells simulated in this run.
     pub executed: usize,
     /// Cells replayed from the resume journal.
     pub resumed: usize,
+    /// Experiments with at least one failed cell, in registry order. A
+    /// non-empty list makes the `sweep` subcommand exit nonzero.
+    pub failed: Vec<String>,
     /// Artifact-cache counters at completion.
     pub counters: popt_harness::CacheCounters,
 }
@@ -66,13 +73,20 @@ pub struct SweepSummary {
 impl SweepSummary {
     /// The `sweep_summary.json` body (fixed key order, trailing newline).
     pub fn to_json(&self, scale: Scale, jobs: usize) -> String {
+        let failed = self
+            .failed
+            .iter()
+            .map(|name| popt_harness::json::encode_str(name))
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
-            "{{\"scale\":\"{}\",\"jobs\":{},\"cells\":{},\"executed\":{},\"resumed\":{},\"cache\":{}}}\n",
+            "{{\"scale\":\"{}\",\"jobs\":{},\"cells\":{},\"executed\":{},\"resumed\":{},\"failed\":[{}],\"cache\":{}}}\n",
             scale.name(),
             jobs,
             self.executed + self.resumed,
             self.executed,
             self.resumed,
+            failed,
             self.counters.to_json(),
         )
     }
@@ -106,18 +120,29 @@ fn select(only: &[String]) -> std::io::Result<Vec<&'static (&'static str, &'stat
 /// experiment through one shared [`Session`], emit tables, finish the
 /// journal and write the report + summary.
 ///
+/// An experiment whose batch contains a failing (panicking) cell does not
+/// abort the sweep: its healthy cells are still simulated and journaled,
+/// its tables are *not* emitted, and the experiment is recorded in
+/// [`SweepSummary::failed`] so the caller can exit nonzero. Fixing the
+/// cell and re-running resumes everything else from the journal.
+///
 /// # Errors
 ///
 /// Fails on unknown experiment names and on any I/O failure (cache,
-/// journal, table emission, report).
+/// journal, table emission, report). Cell failures are *not* `Err`: they
+/// come back in [`SweepSummary::failed`].
 pub fn run_sweep(opts: &SweepOptions) -> std::io::Result<SweepSummary> {
     let selected = select(&opts.only)?;
     std::fs::create_dir_all(&opts.out)?;
     let cache = Arc::new(ArtifactCache::open(opts.out.join("cache"))?);
     let manifest = Manifest::open(opts.out.join("sweep_manifest.jsonl"))?;
-    let session = Session::parallel(opts.jobs)
+    let mut session = Session::parallel(opts.jobs)
         .with_cache(Arc::clone(&cache))
         .with_manifest(manifest);
+    if let Some(pattern) = &opts.inject_fail {
+        session = session.with_fault(pattern.clone());
+    }
+    let mut failed = Vec::new();
     for (name, desc, runner) in selected {
         eprintln!(
             ">>> {name}: {desc} ({} scale, {} jobs)",
@@ -125,13 +150,27 @@ pub fn run_sweep(opts: &SweepOptions) -> std::io::Result<SweepSummary> {
             session.threads()
         );
         let started = std::time::Instant::now();
-        let tables = runner(&session, opts.scale);
-        emit_tables(&tables, &opts.out, name)?;
-        eprintln!("<<< {name} done in {:.1}s", started.elapsed().as_secs_f64());
+        // The harness completes and journals every healthy cell of a batch
+        // before re-raising a cell failure, so catching here loses nothing
+        // but the failed experiment's table emission.
+        let tables = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            runner(&session, opts.scale)
+        }));
+        match tables {
+            Ok(tables) => {
+                emit_tables(&tables, &opts.out, name)?;
+                eprintln!("<<< {name} done in {:.1}s", started.elapsed().as_secs_f64());
+            }
+            Err(_) => {
+                eprintln!("!!! {name} FAILED (completed cells are journaled)");
+                failed.push((*name).to_string());
+            }
+        }
     }
     let summary = SweepSummary {
         executed: session.executed(),
         resumed: session.resumed(),
+        failed,
         counters: cache.counters(),
     };
     let report = session.finish()?;
@@ -165,9 +204,10 @@ mod tests {
 
     #[test]
     fn summary_json_is_stable() {
-        let s = SweepSummary {
+        let mut s = SweepSummary {
             executed: 3,
             resumed: 2,
+            failed: Vec::new(),
             counters: popt_harness::CacheCounters {
                 graph_hits: 4,
                 graph_builds: 1,
@@ -177,8 +217,12 @@ mod tests {
         };
         assert_eq!(
             s.to_json(Scale::Tiny, 2),
-            "{\"scale\":\"tiny\",\"jobs\":2,\"cells\":5,\"executed\":3,\"resumed\":2,\
+            "{\"scale\":\"tiny\",\"jobs\":2,\"cells\":5,\"executed\":3,\"resumed\":2,\"failed\":[],\
              \"cache\":{\"graph_hits\":4,\"graph_builds\":1,\"matrix_hits\":6,\"matrix_builds\":2}}\n"
         );
+        s.failed = vec!["fig2".to_string(), "fig7".to_string()];
+        assert!(s
+            .to_json(Scale::Tiny, 2)
+            .contains("\"failed\":[\"fig2\",\"fig7\"]"));
     }
 }

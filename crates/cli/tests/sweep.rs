@@ -20,6 +20,7 @@ fn opts(out: PathBuf, jobs: usize, only: &[&str]) -> SweepOptions {
         jobs,
         out,
         only: only.iter().map(|s| s.to_string()).collect(),
+        inject_fail: None,
     }
 }
 
@@ -85,6 +86,47 @@ fn warm_cache_rerun_resimulates_and_rebuilds_nothing() {
         manifest_after_first,
         "manifest is stable across warm re-runs"
     );
+}
+
+#[test]
+fn failing_cells_fail_the_sweep_but_spare_the_rest() {
+    let dir = scratch("inject-fail");
+    // Break only fig2's urand cells; fig2's other cells and all of fig4
+    // must still complete and journal.
+    let mut broken = opts(dir.clone(), 2, &["fig2", "fig4"]);
+    broken.inject_fail = Some("fig2/tiny/urand".to_string());
+    let summary = run_sweep(&broken).unwrap();
+    assert_eq!(summary.failed, vec!["fig2".to_string()]);
+    assert!(summary.executed > 0, "healthy cells still simulated");
+    let files = result_files(&dir);
+    assert!(
+        files.keys().any(|n| n.starts_with("fig4")),
+        "fig4 tables emitted"
+    );
+    assert!(
+        !files.keys().any(|n| n.starts_with("fig2")),
+        "failed experiment withholds its tables"
+    );
+    let json = std::fs::read_to_string(dir.join("sweep_summary.json")).unwrap();
+    assert!(json.contains("\"failed\":[\"fig2\"]"), "{json}");
+    // Remove the fault: the healthy cells replay from the journal and only
+    // the previously failing cells simulate.
+    let fixed = run_sweep(&opts(dir.clone(), 2, &["fig2", "fig4"])).unwrap();
+    assert!(fixed.failed.is_empty());
+    assert!(fixed.executed > 0, "previously failing cells now simulate");
+    assert!(fixed.resumed > 0, "healthy cells replay from the journal");
+    assert_eq!(
+        fixed.executed + fixed.resumed,
+        summary.executed + summary.resumed + fixed.executed,
+        "no healthy cell was re-simulated"
+    );
+    let files = result_files(&dir);
+    assert!(
+        files.keys().any(|n| n.starts_with("fig2")),
+        "fig2 tables emitted after the fix"
+    );
+    let json = std::fs::read_to_string(dir.join("sweep_summary.json")).unwrap();
+    assert!(json.contains("\"failed\":[]"), "{json}");
 }
 
 #[test]

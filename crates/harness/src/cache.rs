@@ -416,6 +416,62 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_matrix_requests_build_once() {
+        let cache = ArtifactCache::open(scratch("matrix-race")).unwrap();
+        let g = demo_graph();
+        let key = ArtifactKey::new(ArtifactKind::Matrix, "test-rrm/v1/race");
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..8 {
+                let (cache, key, g) = (&cache, &key, &g);
+                scope.spawn(move |_| {
+                    cache.matrix(key, || {
+                        RerefMatrix::build(
+                            g.out_csr(),
+                            16,
+                            1,
+                            Quantization::EIGHT,
+                            Encoding::InterIntra,
+                        )
+                    });
+                });
+            }
+        })
+        .expect("no panics");
+        let c = cache.counters();
+        assert_eq!(c.matrix_builds, 1, "exactly one build, got {c:?}");
+        assert_eq!(c.matrix_hits, 7);
+    }
+
+    #[test]
+    fn two_cache_instances_on_one_root_never_corrupt_the_artifact() {
+        // Two *separate* cache instances (two daemons / two processes on
+        // one cache dir) may each build — the per-key lock is per-instance
+        // — but the atomic persist means the artifact on disk is always a
+        // complete, loadable copy, and both callers get correct bytes.
+        let root = scratch("two-instances");
+        let a = ArtifactCache::open(&root).unwrap();
+        let b = ArtifactCache::open(&root).unwrap();
+        let key = ArtifactKey::new(ArtifactKind::Graph, "test-graph/v1/shared-root");
+        crossbeam::thread::scope(|scope| {
+            for cache in [&a, &b] {
+                let key = &key;
+                scope.spawn(move |_| {
+                    let got = cache.graph(key, demo_graph);
+                    assert_eq!(*got, demo_graph());
+                });
+            }
+        })
+        .expect("no panics");
+        let builds = a.counters().graph_builds + b.counters().graph_builds;
+        assert!(builds >= 1 && builds <= 2, "got {builds} builds");
+        // Whatever the interleaving, the persisted artifact is whole.
+        let cold = ArtifactCache::open(&root).unwrap();
+        let loaded = cold.graph(&key, || panic!("must load from disk"));
+        assert_eq!(*loaded, demo_graph());
+        assert_eq!(cold.counters().graph_builds, 0);
+    }
+
+    #[test]
     fn counters_json_shape() {
         let c = CacheCounters {
             graph_hits: 1,

@@ -19,9 +19,12 @@
 //!   experiment drivers in `popt-cli`.
 //! * [`hash`] — the stable (cross-process) hash underneath cache keys and
 //!   manifest digests.
+//! * [`json`] — the minimal JSON dialect shared by the manifest and the
+//!   `popt-service` HTTP API (objects, arrays, strings, unsigned ints).
 
 pub mod cache;
 pub mod hash;
+pub mod json;
 pub mod manifest;
 pub mod pool;
 pub mod report;

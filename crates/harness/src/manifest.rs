@@ -21,6 +21,7 @@
 //! ```
 
 use crate::hash::{hex16, StableHasher};
+use crate::json::{self, encode_str};
 use popt_sim::{CacheStats, HierarchyStats, PolicyOverheads};
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
@@ -106,26 +107,6 @@ fn encode_stats(s: &HierarchyStats) -> String {
         s.overheads.ties,
         s.overheads.decisions,
     )
-}
-
-/// JSON string escape for cell ids (ids are plain ASCII by convention,
-/// but the encoder must not be the thing enforcing that).
-fn encode_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 /// An open, append-mode run manifest.
@@ -301,201 +282,6 @@ fn parse_record(line: &str) -> Option<CellRecord> {
         return None;
     }
     Some(CellRecord { cell, stats })
-}
-
-/// A deliberately minimal JSON reader for the manifest's own dialect:
-/// objects, arrays, strings, and unsigned integers. Rejecting everything
-/// else (floats, booleans, null) is a feature — nothing we write uses
-/// them, so their presence means the file is not ours.
-mod json {
-    use std::collections::BTreeMap;
-
-    #[derive(Debug, Clone, PartialEq)]
-    pub(super) enum Value {
-        Object(BTreeMap<String, Value>),
-        Array(Vec<Value>),
-        Str(String),
-        Num(u64),
-    }
-
-    impl Value {
-        pub(super) fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
-            match self {
-                Value::Object(m) => Some(m),
-                _ => None,
-            }
-        }
-
-        pub(super) fn as_str(&self) -> Option<&str> {
-            match self {
-                Value::Str(s) => Some(s),
-                _ => None,
-            }
-        }
-
-        pub(super) fn as_u64(&self) -> Option<u64> {
-            match self {
-                Value::Num(n) => Some(*n),
-                _ => None,
-            }
-        }
-
-        pub(super) fn as_u64_array(&self, len: usize) -> Option<Vec<u64>> {
-            match self {
-                Value::Array(items) if items.len() == len => {
-                    items.iter().map(Value::as_u64).collect()
-                }
-                _ => None,
-            }
-        }
-    }
-
-    pub(super) fn parse(input: &str) -> Option<Value> {
-        let mut p = Parser {
-            bytes: input.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos == p.bytes.len() {
-            Some(v)
-        } else {
-            None
-        }
-    }
-
-    struct Parser<'a> {
-        bytes: &'a [u8],
-        pos: usize,
-    }
-
-    impl Parser<'_> {
-        fn peek(&self) -> Option<u8> {
-            self.bytes.get(self.pos).copied()
-        }
-
-        fn bump(&mut self) -> Option<u8> {
-            let b = self.peek()?;
-            self.pos += 1;
-            Some(b)
-        }
-
-        fn expect(&mut self, b: u8) -> Option<()> {
-            (self.bump()? == b).then_some(())
-        }
-
-        fn skip_ws(&mut self) {
-            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-                self.pos += 1;
-            }
-        }
-
-        fn value(&mut self) -> Option<Value> {
-            match self.peek()? {
-                b'{' => self.object(),
-                b'[' => self.array(),
-                b'"' => self.string().map(Value::Str),
-                b'0'..=b'9' => self.number(),
-                _ => None,
-            }
-        }
-
-        fn object(&mut self) -> Option<Value> {
-            self.expect(b'{')?;
-            let mut map = BTreeMap::new();
-            self.skip_ws();
-            if self.peek() == Some(b'}') {
-                self.pos += 1;
-                return Some(Value::Object(map));
-            }
-            loop {
-                self.skip_ws();
-                let key = self.string()?;
-                self.skip_ws();
-                self.expect(b':')?;
-                self.skip_ws();
-                let val = self.value()?;
-                map.insert(key, val);
-                self.skip_ws();
-                match self.bump()? {
-                    b',' => continue,
-                    b'}' => return Some(Value::Object(map)),
-                    _ => return None,
-                }
-            }
-        }
-
-        fn array(&mut self) -> Option<Value> {
-            self.expect(b'[')?;
-            let mut items = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b']') {
-                self.pos += 1;
-                return Some(Value::Array(items));
-            }
-            loop {
-                self.skip_ws();
-                items.push(self.value()?);
-                self.skip_ws();
-                match self.bump()? {
-                    b',' => continue,
-                    b']' => return Some(Value::Array(items)),
-                    _ => return None,
-                }
-            }
-        }
-
-        fn string(&mut self) -> Option<String> {
-            self.expect(b'"')?;
-            let mut out = String::new();
-            loop {
-                match self.bump()? {
-                    b'"' => return Some(out),
-                    b'\\' => match self.bump()? {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let mut code = 0u32;
-                            for _ in 0..4 {
-                                let d = (self.bump()? as char).to_digit(16)?;
-                                code = code * 16 + d;
-                            }
-                            out.push(char::from_u32(code)?);
-                        }
-                        _ => return None,
-                    },
-                    // Multi-byte UTF-8 continuation: pass through raw. The
-                    // reassembled string is validated by construction since
-                    // the input was a &str.
-                    b => {
-                        let start = self.pos - 1;
-                        let mut end = self.pos;
-                        if b >= 0x80 {
-                            while matches!(self.bytes.get(end), Some(&c) if c & 0xC0 == 0x80) {
-                                end += 1;
-                            }
-                            self.pos = end;
-                        }
-                        out.push_str(std::str::from_utf8(&self.bytes[start..end]).ok()?);
-                    }
-                }
-            }
-        }
-
-        fn number(&mut self) -> Option<Value> {
-            let start = self.pos;
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
-            let text = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
-            text.parse().ok().map(Value::Num)
-        }
-    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,8 @@ pub enum CellOutcome {
     Executed,
     /// Replayed from the run manifest (a previous run finished it).
     Resumed,
+    /// The simulation panicked; no stats exist and nothing was journaled.
+    Failed,
 }
 
 impl CellOutcome {
@@ -25,6 +27,7 @@ impl CellOutcome {
         match self {
             CellOutcome::Executed => "executed",
             CellOutcome::Resumed => "resumed",
+            CellOutcome::Failed => "failed",
         }
     }
 }
@@ -53,6 +56,18 @@ impl CellMetric {
             wall,
             instructions: stats.instructions,
             llc_misses: stats.llc.misses,
+        }
+    }
+
+    /// A row for a failed cell: the wall time was spent, but there are no
+    /// stats to report.
+    pub fn failed(cell: String, wall: Duration) -> Self {
+        CellMetric {
+            cell,
+            outcome: CellOutcome::Failed,
+            wall,
+            instructions: 0,
+            llc_misses: 0,
         }
     }
 
@@ -95,7 +110,18 @@ impl SweepReport {
 
     /// Cells replayed from the journal.
     pub fn resumed(&self) -> usize {
-        self.rows.len() - self.executed()
+        self.rows
+            .iter()
+            .filter(|r| r.outcome == CellOutcome::Resumed)
+            .count()
+    }
+
+    /// Cells whose simulation panicked.
+    pub fn failed(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.outcome == CellOutcome::Failed)
+            .count()
     }
 
     /// Total wall time spent simulating (excludes resumed cells).
@@ -123,8 +149,14 @@ impl SweepReport {
 
     /// A human-oriented summary (slowest cells first).
     pub fn to_text(&self) -> String {
+        let failures = self.failed();
+        let failed_note = if failures > 0 {
+            format!(", {failures} FAILED")
+        } else {
+            String::new()
+        };
         let mut out = format!(
-            "sweep report: {} cells ({} executed, {} resumed), {:.3}s simulated wall time\n",
+            "sweep report: {} cells ({} executed, {} resumed{failed_note}), {:.3}s simulated wall time\n",
             self.rows.len(),
             self.executed(),
             self.resumed(),

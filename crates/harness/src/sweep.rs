@@ -50,6 +50,7 @@ pub struct SweepSession {
     manifest: Option<Mutex<Manifest>>,
     metrics: Mutex<Vec<CellMetric>>,
     seen: Mutex<BTreeSet<String>>,
+    fault: Option<String>,
 }
 
 impl SweepSession {
@@ -65,7 +66,17 @@ impl SweepSession {
             manifest: None,
             metrics: Mutex::new(Vec::new()),
             seen: Mutex::new(BTreeSet::new()),
+            fault: None,
         }
+    }
+
+    /// Fault injection for failure-path tests: any cell whose id contains
+    /// `pattern` panics instead of simulating, exercising the same code
+    /// path as a genuine simulation panic.
+    #[must_use]
+    pub fn with_fault(mut self, pattern: impl Into<String>) -> Self {
+        self.fault = Some(pattern.into());
+        self
     }
 
     /// Attaches a resume journal: cells it already records are skipped and
@@ -86,11 +97,17 @@ impl SweepSession {
     /// Cells the journal already records are *not* re-simulated — their
     /// recorded stats are spliced into the result at the right position.
     ///
+    /// A panicking cell no longer aborts its batch mid-flight: the panic
+    /// is caught, the cell is recorded as [`CellOutcome::Failed`], and
+    /// every *other* cell still runs (and journals) to completion. Only
+    /// then does the batch re-raise, so a resumed sweep after a fix
+    /// re-simulates nothing but the cells that actually failed.
+    ///
     /// # Panics
     ///
     /// Panics on a duplicate cell id (two distinct simulations under one
-    /// id would corrupt resume), on a journal write failure, or if a cell
-    /// itself panics.
+    /// id would corrupt resume), on a journal write failure, or — after
+    /// the rest of the batch completed — if any cell panicked.
     pub fn run_cells(&self, cells: Vec<SweepCell<'_>>) -> Vec<HierarchyStats> {
         {
             let mut seen = self.seen.lock().expect("seen-id set");
@@ -130,39 +147,80 @@ impl SweepSession {
                 }
             }
         }
-        let jobs: Vec<Job<'_, (usize, HierarchyStats)>> = pending
+        let jobs: Vec<Job<'_, (usize, Result<HierarchyStats, String>)>> = pending
             .into_iter()
             .map(|(i, cell)| {
                 let manifest = self.manifest.as_ref();
                 let metrics = &self.metrics;
-                let job: Job<'_, (usize, HierarchyStats)> = Box::new(move || {
+                let fault = self.fault.as_deref();
+                let job: Job<'_, (usize, Result<HierarchyStats, String>)> = Box::new(move || {
+                    let id = cell.id.clone();
                     let started = Instant::now();
-                    let stats = (cell.run)();
+                    let run = cell.run;
+                    let outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                            if fault.is_some_and(|pat| id.contains(pat)) {
+                                panic!("injected fault for cell {id:?}");
+                            }
+                            run()
+                        }));
                     let wall = started.elapsed();
-                    if let Some(m) = manifest {
-                        m.lock()
-                            .expect("manifest lock")
-                            .record(&cell.id, stats)
-                            .expect("journal write failed; sweep is not resumable");
+                    match outcome {
+                        Ok(stats) => {
+                            if let Some(m) = manifest {
+                                m.lock()
+                                    .expect("manifest lock")
+                                    .record(&cell.id, stats)
+                                    .expect("journal write failed; sweep is not resumable");
+                            }
+                            metrics.lock().expect("metrics lock").push(CellMetric::new(
+                                cell.id,
+                                CellOutcome::Executed,
+                                wall,
+                                &stats,
+                            ));
+                            (i, Ok(stats))
+                        }
+                        Err(payload) => {
+                            let msg = panic_message(payload.as_ref());
+                            metrics
+                                .lock()
+                                .expect("metrics lock")
+                                .push(CellMetric::failed(cell.id.clone(), wall));
+                            (i, Err(format!("{}: {msg}", cell.id)))
+                        }
                     }
-                    metrics.lock().expect("metrics lock").push(CellMetric::new(
-                        cell.id,
-                        CellOutcome::Executed,
-                        wall,
-                        &stats,
-                    ));
-                    (i, stats)
                 });
                 job
             })
             .collect();
-        for (i, stats) in run_jobs(self.threads, jobs) {
-            results[i] = Some(stats);
+        let mut failures: Vec<String> = Vec::new();
+        for (i, outcome) in run_jobs(self.threads, jobs) {
+            match outcome {
+                Ok(stats) => results[i] = Some(stats),
+                Err(msg) => failures.push(msg),
+            }
         }
+        assert!(
+            failures.is_empty(),
+            "{} cell(s) failed (completed cells are journaled): {}",
+            failures.len(),
+            failures.join("; ")
+        );
         results
             .into_iter()
             .map(|r| r.expect("every slot filled"))
             .collect()
+    }
+
+    /// Number of cells that failed (panicked) so far.
+    pub fn failed(&self) -> usize {
+        self.metrics
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .filter(|m| m.outcome == CellOutcome::Failed)
+            .count()
     }
 
     /// Number of cells simulated so far (excludes journal replays).
@@ -198,6 +256,17 @@ impl SweepSession {
         Ok(SweepReport::new(
             self.metrics.into_inner().expect("metrics lock"),
         ))
+    }
+}
+
+/// Renders a caught panic payload (`&str` or `String` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -304,6 +373,56 @@ mod tests {
             SweepCell::new("same", || stats(1)),
             SweepCell::new("same", || stats(2)),
         ]);
+    }
+
+    #[test]
+    fn failing_cell_does_not_abort_its_batch() {
+        // The failing cell is submitted FIRST so the serial path would
+        // historically have skipped everything after it; now every other
+        // cell completes and journals before the batch re-raises.
+        let path = scratch("failing-cell");
+        let ran = AtomicUsize::new(0);
+        {
+            let session = SweepSession::parallel(2).with_manifest(Manifest::open(&path).unwrap());
+            let mut batch = vec![SweepCell::new("t/boom", || panic!("injected"))];
+            batch.extend(cells(4, &ran));
+            let err =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.run_cells(batch)));
+            let msg = *err
+                .expect_err("batch re-raises")
+                .downcast::<String>()
+                .unwrap();
+            assert!(msg.contains("1 cell(s) failed"), "got: {msg}");
+            assert!(msg.contains("t/boom"), "failure names the cell: {msg}");
+            assert_eq!(ran.load(Ordering::Relaxed), 4, "healthy cells all ran");
+            assert_eq!(session.failed(), 1);
+            assert_eq!(session.executed(), 4);
+        }
+        // The journal carries the four completed cells: a resumed run
+        // re-simulates only the fixed cell.
+        let ran2 = AtomicUsize::new(0);
+        let session = SweepSession::parallel(2).with_manifest(Manifest::open(&path).unwrap());
+        let mut batch = vec![SweepCell::new("t/boom", || {
+            ran2.fetch_add(1, Ordering::Relaxed);
+            stats(99)
+        })];
+        batch.extend(cells(4, &ran2));
+        let out = session.run_cells(batch);
+        assert_eq!(out.len(), 5);
+        assert_eq!(ran2.load(Ordering::Relaxed), 1, "only the fixed cell runs");
+        assert_eq!(session.resumed(), 4);
+    }
+
+    #[test]
+    fn injected_fault_takes_the_failure_path() {
+        let ran = AtomicUsize::new(0);
+        let session = SweepSession::serial().with_fault("t/02");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            session.run_cells(cells(4, &ran))
+        }));
+        assert!(err.is_err());
+        assert_eq!(session.failed(), 1);
+        assert_eq!(ran.load(Ordering::Relaxed), 3, "non-matching cells ran");
     }
 
     #[test]

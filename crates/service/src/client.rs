@@ -1,0 +1,221 @@
+//! A minimal loopback HTTP/1.1 client for the service API.
+//!
+//! This backs the `popt-cli submit` subcommand and the integration
+//! tests; it speaks exactly the dialect the server emits (one request per
+//! connection, `Connection: close`, `Content-Length` framing) and nothing
+//! more.
+
+use crate::json::{encode, string};
+use popt_harness::json::{parse, Value};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Retry-After` header (seconds), if present.
+    pub retry_after: Option<u64>,
+    /// Response body.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// The body parsed in the service JSON dialect, if it parses.
+    pub fn json(&self) -> Option<Value> {
+        parse(&self.body)
+    }
+}
+
+/// Sends one request and reads the full response.
+///
+/// # Errors
+///
+/// Connection, write, read, or framing failures.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line {status_line:?}"),
+            )
+        })?;
+
+    let mut content_length = None;
+    let mut retry_after = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let lower = line.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix("content-length:") {
+            content_length = v.trim().parse().ok();
+        } else if let Some(v) = lower.strip_prefix("retry-after:") {
+            retry_after = v.trim().parse().ok();
+        }
+    }
+    let body = match content_length {
+        Some(len) => {
+            let mut buf = vec![0u8; len];
+            reader.read_exact(&mut buf)?;
+            String::from_utf8_lossy(&buf).into_owned()
+        }
+        None => {
+            let mut buf = String::new();
+            reader.read_to_string(&mut buf)?;
+            buf
+        }
+    };
+    Ok(ClientResponse {
+        status,
+        retry_after,
+        body,
+    })
+}
+
+/// Builds the `POST /v1/sweeps` body for `experiments` at `scale`.
+pub fn submit_body(experiments: &[String], scale: &str, deadline_ms: Option<u64>) -> String {
+    let mut fields = vec![
+        (
+            "experiments",
+            Value::Array(experiments.iter().cloned().map(Value::Str).collect()),
+        ),
+        ("scale", string(scale)),
+    ];
+    if let Some(ms) = deadline_ms {
+        fields.push(("deadline_ms", Value::Num(ms)));
+    }
+    encode(&Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    ))
+}
+
+/// Submits a sweep and returns the response (`202` body carries the id).
+///
+/// # Errors
+///
+/// Transport failures; HTTP-level rejections come back as the response.
+pub fn submit(
+    addr: SocketAddr,
+    experiments: &[String],
+    scale: &str,
+    deadline_ms: Option<u64>,
+) -> io::Result<ClientResponse> {
+    request(
+        addr,
+        "POST",
+        "/v1/sweeps",
+        Some(&submit_body(experiments, scale, deadline_ms)),
+    )
+}
+
+/// The sweep id out of a `202` submission response.
+pub fn sweep_id(response: &ClientResponse) -> Option<String> {
+    response
+        .json()?
+        .as_object()?
+        .get("id")?
+        .as_str()
+        .map(str::to_string)
+}
+
+/// Polls `GET /v1/sweeps/{id}` until the sweep reaches a terminal state
+/// (`done` or `failed`) and returns the final status body.
+///
+/// # Errors
+///
+/// Transport failures, a non-`200` status response, or `timeout` elapsing
+/// first.
+pub fn wait_sweep(addr: SocketAddr, id: &str, timeout: Duration) -> io::Result<ClientResponse> {
+    let deadline = Instant::now() + timeout;
+    let path = format!("/v1/sweeps/{id}");
+    loop {
+        let response = request(addr, "GET", &path, None)?;
+        if response.status != 200 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("status query failed: {} {}", response.status, response.body),
+            ));
+        }
+        let state = response
+            .json()
+            .as_ref()
+            .and_then(Value::as_object)
+            .and_then(|o| o.get("state"))
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .unwrap_or_default();
+        if state == "done" || state == "failed" {
+            return Ok(response);
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("sweep {id} still {state:?} after {timeout:?}"),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::object;
+
+    #[test]
+    fn submit_body_is_canonical() {
+        let body = submit_body(&["fig2".to_string(), "fig7".to_string()], "tiny", Some(500));
+        assert_eq!(
+            body,
+            "{\"deadline_ms\":500,\"experiments\":[\"fig2\",\"fig7\"],\"scale\":\"tiny\"}"
+        );
+        let parsed = crate::json::parse_submit(&body).unwrap();
+        assert_eq!(parsed.scale, "tiny");
+        assert_eq!(parsed.deadline_ms, Some(500));
+    }
+
+    #[test]
+    fn sweep_id_reads_the_submission_response() {
+        let r = ClientResponse {
+            status: 202,
+            retry_after: None,
+            body: encode(&object([("id", string("sw-000042"))])),
+        };
+        assert_eq!(sweep_id(&r).as_deref(), Some("sw-000042"));
+    }
+}

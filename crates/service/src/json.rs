@@ -1,0 +1,206 @@
+//! Request parsing and response emission over the `popt_harness::json`
+//! dialect (objects, arrays, strings, unsigned integers — nothing else).
+//!
+//! The service accepts exactly one request shape, the sweep submission:
+//!
+//! ```json
+//! {"experiments": ["fig2", "fig7"], "scale": "tiny", "deadline_ms": 5000}
+//! ```
+//!
+//! `deadline_ms` is optional (absent = unbounded). Responses are built as
+//! [`Value`] trees and rendered by [`encode`]; because objects are
+//! `BTreeMap`s the rendering is key-sorted and therefore byte-stable,
+//! which the integration tests rely on.
+
+use popt_harness::json::{encode_str, Value};
+use std::collections::BTreeMap;
+
+/// A validated sweep submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitRequest {
+    /// Experiment names, in request order (duplicates preserved; the
+    /// coalescer collapses them).
+    pub experiments: Vec<String>,
+    /// The scale tier every cell in this sweep runs at.
+    pub scale: String,
+    /// Optional per-request deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parses and validates a `POST /v1/sweeps` body.
+///
+/// # Errors
+///
+/// A human-readable message naming the first offending field; the router
+/// answers with `400` and this message in the error body.
+pub fn parse_submit(body: &str) -> Result<SubmitRequest, String> {
+    let value = popt_harness::json::parse(body)
+        .ok_or_else(|| "body is not valid JSON in the service dialect".to_string())?;
+    let obj = value
+        .as_object()
+        .ok_or_else(|| "body must be a JSON object".to_string())?;
+    for key in obj.keys() {
+        if !matches!(key.as_str(), "experiments" | "scale" | "deadline_ms") {
+            return Err(format!("unknown field {key:?}"));
+        }
+    }
+    let experiments = obj
+        .get("experiments")
+        .ok_or_else(|| "missing field \"experiments\"".to_string())?
+        .as_array()
+        .ok_or_else(|| "\"experiments\" must be an array of strings".to_string())?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "\"experiments\" must be an array of strings".to_string())
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if experiments.is_empty() {
+        return Err("\"experiments\" must not be empty".to_string());
+    }
+    let scale = obj
+        .get("scale")
+        .ok_or_else(|| "missing field \"scale\"".to_string())?
+        .as_str()
+        .ok_or_else(|| "\"scale\" must be a string".to_string())?
+        .to_string();
+    let deadline_ms = match obj.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| "\"deadline_ms\" must be an unsigned integer".to_string())?,
+        ),
+    };
+    Ok(SubmitRequest {
+        experiments,
+        scale,
+        deadline_ms,
+    })
+}
+
+/// Renders a [`Value`] tree as compact JSON. Object keys come out in
+/// sorted order (the underlying map is a `BTreeMap`), so equal trees
+/// always render to equal bytes.
+pub fn encode(value: &Value) -> String {
+    let mut out = String::new();
+    encode_into(value, &mut out);
+    out
+}
+
+fn encode_into(value: &Value, out: &mut String) {
+    match value {
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (key, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&encode_str(key));
+                out.push(':');
+                encode_into(val, out);
+            }
+            out.push('}');
+        }
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                encode_into(item, out);
+            }
+            out.push(']');
+        }
+        Value::Str(s) => out.push_str(&encode_str(s)),
+        Value::Num(n) => {
+            let _ = std::fmt::Write::write_fmt(out, format_args!("{n}"));
+        }
+    }
+}
+
+/// Convenience: an object from `(key, value)` pairs.
+pub fn object<const N: usize>(pairs: [(&str, Value); N]) -> Value {
+    Value::Object(
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+/// Convenience: a string value.
+pub fn string(s: impl Into<String>) -> Value {
+    Value::Str(s.into())
+}
+
+/// The standard error body: `{"error": "<message>"}`.
+pub fn error_body(message: &str) -> String {
+    encode(&object([("error", string(message))]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trip() {
+        let req = parse_submit(
+            "{\"experiments\": [\"fig2\", \"fig7\"], \"scale\": \"tiny\", \"deadline_ms\": 5000}",
+        )
+        .unwrap();
+        assert_eq!(req.experiments, ["fig2", "fig7"]);
+        assert_eq!(req.scale, "tiny");
+        assert_eq!(req.deadline_ms, Some(5000));
+    }
+
+    #[test]
+    fn deadline_is_optional() {
+        let req = parse_submit("{\"experiments\":[\"fig2\"],\"scale\":\"tiny\"}").unwrap();
+        assert_eq!(req.deadline_ms, None);
+    }
+
+    #[test]
+    fn malformed_submissions_name_the_offending_field() {
+        for (body, needle) in [
+            ("not json", "not valid JSON"),
+            ("[]", "must be a JSON object"),
+            ("{\"scale\":\"tiny\"}", "\"experiments\""),
+            ("{\"experiments\":[],\"scale\":\"tiny\"}", "not be empty"),
+            (
+                "{\"experiments\":[1],\"scale\":\"tiny\"}",
+                "array of strings",
+            ),
+            ("{\"experiments\":[\"fig2\"]}", "\"scale\""),
+            (
+                "{\"experiments\":[\"fig2\"],\"scale\":\"tiny\",\"deadline_ms\":\"x\"}",
+                "unsigned integer",
+            ),
+            (
+                "{\"experiments\":[\"fig2\"],\"scale\":\"tiny\",\"surprise\":1}",
+                "unknown field",
+            ),
+        ] {
+            let err = parse_submit(body).expect_err(body);
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn encode_is_compact_sorted_and_stable() {
+        let v = object([
+            ("zeta", Value::Num(3)),
+            ("alpha", Value::Array(vec![string("x"), Value::Num(0)])),
+        ]);
+        assert_eq!(encode(&v), "{\"alpha\":[\"x\",0],\"zeta\":3}");
+        assert_eq!(encode(&v), encode(&v.clone()));
+    }
+
+    #[test]
+    fn error_body_escapes_the_message() {
+        assert_eq!(
+            error_body("bad \"scale\""),
+            "{\"error\":\"bad \\\"scale\\\"\"}"
+        );
+    }
+}

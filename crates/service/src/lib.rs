@@ -1,0 +1,79 @@
+//! popt-service: the simulation-as-a-service daemon.
+//!
+//! PR 2 built the sweep substrate — a work-stealing pool, a
+//! content-addressed artifact cache, and a resumable manifest — but every
+//! run still paid process startup and cold caches. This crate keeps that
+//! machinery resident behind a minimal hand-rolled HTTP/1.1 + JSON API on
+//! `std::net` (no external dependencies), so many clients can sweep
+//! against one long-lived warm corpus:
+//!
+//! * [`server`] — the TCP accept loop, worker pool, and graceful
+//!   shutdown (drain the queue, flush manifests, exit 0 on SIGTERM).
+//! * [`router`] — endpoint dispatch and the shared service state:
+//!   `POST /v1/sweeps`, `GET /v1/sweeps/{id}`, `GET /v1/healthz`,
+//!   `GET /v1/metrics`, `POST /v1/shutdown`.
+//! * [`queue`] — the bounded admission queue; a full queue sheds load
+//!   with `429 Too Many Requests` + `Retry-After` instead of buffering
+//!   without bound.
+//! * [`coalesce`] — in-flight request coalescing: N clients submitting
+//!   the same cell (same versioned descriptor, same content hash the
+//!   artifact cache uses) trigger exactly one simulation.
+//! * [`metrics`] — Prometheus text-format counters: queue depth,
+//!   in-flight cells, cache hits/misses, per-cell latency histogram,
+//!   rejections.
+//! * [`json`] — request parsing and response emission over the
+//!   `popt_harness::json` dialect.
+//! * [`client`] — the loopback HTTP client used by the `submit`
+//!   subcommand and the integration tests.
+//!
+//! The daemon is generic over *what* a cell runs: the embedding binary
+//! supplies a [`CellRunner`] (popt-cli plugs in the experiment registry),
+//! which keeps this crate free of a dependency cycle with the drivers.
+
+pub mod client;
+pub mod coalesce;
+pub mod json;
+pub mod metrics;
+pub mod queue;
+pub mod router;
+pub mod server;
+
+pub use coalesce::{CellJob, CellSummary, Coalescer, JobState};
+pub use router::{Response, ServiceState};
+pub use server::{Service, ServiceConfig};
+
+use popt_harness::CacheCounters;
+
+/// What the daemon calls to validate and execute one cell.
+///
+/// Implementations must be callable from several worker threads at once
+/// and should catch their own recoverable errors; a panic out of
+/// [`run`](CellRunner::run) is caught by the worker and recorded as a
+/// failed cell rather than killing the daemon.
+pub trait CellRunner: Send + Sync + 'static {
+    /// Validates a `(experiment, scale)` request, returning its canonical
+    /// versioned descriptor (e.g. `cell/v1/fig2/tiny`). The descriptor is
+    /// the coalescing identity: requests mapping to the same descriptor
+    /// share one simulation. Aliases (`fig12a` → `fig12`) must canonicalize
+    /// here so they coalesce too.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unknown experiments or scales; the
+    /// router turns it into a `400`.
+    fn descriptor(&self, experiment: &str, scale: &str) -> Result<String, String>;
+
+    /// Runs the cell to completion, emitting its result tables wherever
+    /// the embedding configured, and returns the execution summary.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message; the cell is reported as `failed`.
+    fn run(&self, experiment: &str, scale: &str) -> Result<CellSummary, String>;
+
+    /// Artifact-cache counters for `/v1/metrics` (zeroes when the runner
+    /// has no cache).
+    fn cache_counters(&self) -> CacheCounters {
+        CacheCounters::default()
+    }
+}

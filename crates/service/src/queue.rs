@@ -1,0 +1,224 @@
+//! The bounded admission queue.
+//!
+//! Load shedding happens here: the queue accepts at most `capacity`
+//! pending cells, and a submission that would overflow is rejected
+//! *atomically* (all of a request's new cells or none) so a half-admitted
+//! sweep can never exist. Workers block in [`BoundedQueue::pop`]; closing
+//! the queue wakes them, and they drain whatever is still queued before
+//! exiting — that drain is what makes shutdown graceful.
+//!
+//! This module is registered in the `popt-analyze` hot-path scope: a
+//! panic here deadlocks every worker, so locks recover from poisoning
+//! instead of unwrapping and nothing in the file can panic.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; retry after backoff (`429` upstream).
+    Full,
+    /// The queue is closed; the daemon is shutting down (`503` upstream).
+    Closed,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking MPMC queue with a hard capacity and drain-on-close
+/// semantics.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+    nonempty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` pending items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        // Poisoning would mean a panic under the lock; the queue's own
+        // critical sections cannot panic, and recovering keeps the daemon
+        // serving even if an invariant elsewhere broke.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (excludes in-flight work already popped).
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether [`close`](BoundedQueue::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Enqueues one item, failing fast when full or closed.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after close.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        self.try_push_all(std::iter::once(item).collect())
+    }
+
+    /// Enqueues a batch atomically: either every item is admitted or none
+    /// are (the batch is dropped on failure).
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] if the whole batch does not fit,
+    /// [`PushError::Closed`] after close.
+    pub fn try_push_all(&self, items: Vec<T>) -> Result<(), PushError> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() + items.len() > self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.items.extend(items);
+        drop(inner);
+        self.nonempty.notify_all();
+        Ok(())
+    }
+
+    /// Blocks until an item is available and returns it, or returns
+    /// `None` once the queue is closed *and* drained. Items queued before
+    /// close are still handed out — that is the graceful-shutdown drain.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .nonempty
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: further pushes fail with [`PushError::Closed`],
+    /// blocked poppers wake, and [`pop`](BoundedQueue::pop) keeps
+    /// returning queued items until the backlog is drained.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.nonempty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn full_queue_sheds_load() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        // Shedding did not disturb the queued items.
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(()));
+    }
+
+    #[test]
+    fn batch_admission_is_all_or_nothing() {
+        let q = BoundedQueue::new(3);
+        q.try_push(0).unwrap();
+        assert_eq!(q.try_push_all(vec![1, 2, 3]), Err(PushError::Full));
+        assert_eq!(q.depth(), 1, "rejected batch left no residue");
+        assert_eq!(q.try_push_all(vec![1, 2]), Ok(()));
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn close_drains_then_releases_poppers() {
+        let q = Arc::new(BoundedQueue::new(8));
+        q.try_push_all(vec![1, 2, 3]).unwrap();
+        q.close();
+        assert_eq!(q.try_push(4), Err(PushError::Closed));
+        // Drain: queued items still come out, then None.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_poppers_wake_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let popped = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let (q, popped) = (Arc::clone(&q), Arc::clone(&popped));
+            handles.push(std::thread::spawn(move || {
+                while q.pop().is_some() {
+                    popped.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for i in 0..10 {
+            // The producer can outrun the poppers on a capacity-4 queue;
+            // a Full rejection here is load shedding working as designed.
+            while q.try_push(i) == Err(PushError::Full) {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(popped.load(Ordering::Relaxed), 10, "all items drained");
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(PushError::Full));
+    }
+}

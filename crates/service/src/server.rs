@@ -1,0 +1,267 @@
+//! The TCP transport: accept loop, worker pool, and graceful shutdown.
+//!
+//! The daemon is deliberately simple at the socket layer — HTTP/1.1 with
+//! `Connection: close`, one request per connection, parsed by hand on
+//! `std::net`. All request handling is a fast in-memory dispatch through
+//! [`ServiceState::handle`]; the expensive work (simulating cells)
+//! happens on the worker threads popping the bounded queue, so the
+//! listener never blocks behind a simulation.
+//!
+//! Shutdown is the part worth reading: SIGTERM (or `POST /v1/shutdown`)
+//! sets a flag, [`Service::run`] notices, closes the queue, and the
+//! workers *drain the backlog* before exiting — every admitted cell
+//! finishes and flushes its manifest, so a restarted daemon resumes
+//! instead of re-simulating. The accept loop is woken from its blocking
+//! `accept` by a loopback self-connect.
+
+use crate::router::ServiceState;
+use crate::CellRunner;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon configuration (the `serve` subcommand's flags).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Worker threads simulating cells.
+    pub jobs: usize,
+    /// Admission queue capacity; beyond it, submissions shed with `429`.
+    pub queue_depth: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: 2,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// A running daemon: listener thread + worker pool around a
+/// [`ServiceState`].
+pub struct Service {
+    state: Arc<ServiceState>,
+    local_addr: SocketAddr,
+    listener: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    accept_done: Arc<AtomicBool>,
+}
+
+impl Service {
+    /// Binds the listener, spawns the workers, and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, permission).
+    pub fn start(runner: Arc<dyn CellRunner>, config: &ServiceConfig) -> io::Result<Service> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(ServiceState::new(runner, config.queue_depth));
+
+        let workers = (0..config.jobs.max(1))
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("popt-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = state.queue().pop() {
+                            state.execute(&job);
+                        }
+                    })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        let accept_done = Arc::new(AtomicBool::new(false));
+        let listener_thread = {
+            let state = Arc::clone(&state);
+            let accept_done = Arc::clone(&accept_done);
+            std::thread::Builder::new()
+                .name("popt-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if accept_done.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if let Ok(stream) = stream {
+                            // Serve serially: requests are in-memory
+                            // dispatches, never simulations.
+                            let _ = serve_connection(&state, stream);
+                        }
+                        if state.shutdown_requested() {
+                            break;
+                        }
+                    }
+                })?
+        };
+
+        Ok(Service {
+            state,
+            local_addr,
+            listener: Some(listener_thread),
+            workers,
+            accept_done,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared state (tests inspect metrics and queues through it).
+    pub fn state(&self) -> &Arc<ServiceState> {
+        &self.state
+    }
+
+    /// Installs SIGTERM/SIGINT handlers that request a graceful drain (a
+    /// no-op off Unix).
+    pub fn install_signal_handlers() {
+        signal::install();
+    }
+
+    /// Blocks until shutdown is requested (API or signal), then drains
+    /// and joins. This is the `serve` subcommand's main loop.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; the `Result` reserves room for transport
+    /// errors.
+    pub fn run(self) -> io::Result<()> {
+        while !self.state.shutdown_requested() && !signal::triggered() {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        self.shutdown()
+    }
+
+    /// Gracefully stops: closes the queue, lets the workers drain the
+    /// backlog, wakes the accept loop, and joins every thread.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; the `Result` reserves room for transport
+    /// errors.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.state.request_shutdown();
+        self.state.queue().close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.accept_done.store(true, Ordering::SeqCst);
+        // Wake the accept loop if it is parked in `accept`; any error
+        // means the listener is already gone, which is the goal.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(listener) = self.listener.take() {
+            let _ = listener.join();
+        }
+        Ok(())
+    }
+}
+
+/// Reads one HTTP/1.1 request, dispatches it, writes the response, and
+/// closes the connection.
+fn serve_connection(state: &ServiceState, stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream);
+
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line)? == 0 {
+        return Ok(()); // the shutdown wake-up connect sends nothing
+    }
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Ok(());
+    };
+    let (method, path) = (method.to_string(), path.to_string());
+
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(value) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+        {
+            content_length = value.parse().unwrap_or(0);
+        }
+    }
+    // Cap bodies well above any legitimate sweep submission.
+    let mut body = vec![0u8; content_length.min(1 << 20)];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8_lossy(&body).into_owned();
+
+    let response = state.handle(&method, &path, &body);
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        response.reason(),
+        response.content_type,
+        response.body.len()
+    );
+    if let Some(seconds) = response.retry_after {
+        head.push_str(&format!("Retry-After: {seconds}\r\n"));
+    }
+    head.push_str("\r\n");
+
+    let mut stream = reader.into_inner();
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(unix)]
+mod signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERMINATED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_term(_signum: i32) {
+        // Async-signal-safe: a single atomic store.
+        TERMINATED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub(super) fn install() {
+        let handler = on_term as extern "C" fn(i32) as usize;
+        // SAFETY: installs a handler that only stores to a static atomic,
+        // which is async-signal-safe; `signal` itself is always safe to
+        // call with a valid function pointer.
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+
+    pub(super) fn triggered() -> bool {
+        TERMINATED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signal {
+    pub(super) fn install() {}
+
+    pub(super) fn triggered() -> bool {
+        false
+    }
+}
