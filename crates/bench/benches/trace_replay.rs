@@ -1,0 +1,89 @@
+//! Record-once / replay-many economics: kernel re-execution versus
+//! `POPTTRC2` decode for driving a simulation cell, plus raw codec
+//! encode/decode throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use popt_bench::bench_graph;
+use popt_cli::runner::{policy_hierarchy_cached, PolicySpec};
+use popt_kernels::App;
+use popt_sim::{HierarchyConfig, PolicyKind};
+use popt_trace::CountingSink;
+use popt_tracestore::{replay_any, ChunkWriter, FanoutSink};
+
+fn recorded_pagerank() -> (popt_graph::Graph, popt_kernels::TracePlan, Vec<u8>, u64) {
+    let g = bench_graph(32_768);
+    let plan = App::Pagerank.plan(&g);
+    let mut buf = Vec::new();
+    let mut writer =
+        ChunkWriter::create(&mut buf, &plan.space, "bench/pr").expect("in-memory writer");
+    App::Pagerank.trace(&g, &plan, &mut writer);
+    let (_, summary) = writer.finish().expect("in-memory finish");
+    (g, plan, buf, summary.events)
+}
+
+/// The sweep's actual question: how much does a pagerank *cell* cost when
+/// its events come from kernel re-execution versus trace replay?
+fn cell_drive(c: &mut Criterion) {
+    let (g, plan, trace, events) = recorded_pagerank();
+    let cfg = HierarchyConfig::small_test();
+    let lru = PolicySpec::Baseline(PolicyKind::Lru);
+    let mut group = c.benchmark_group("tracestore/cell");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("kernel_reexec", |b| {
+        b.iter(|| {
+            let mut h = policy_hierarchy_cached(App::Pagerank, &g, &cfg, &plan, &lru, None);
+            App::Pagerank.trace(&g, &plan, &mut h);
+            h.stats()
+        })
+    });
+    group.bench_function("trace_replay", |b| {
+        b.iter(|| {
+            let mut h = policy_hierarchy_cached(App::Pagerank, &g, &cfg, &plan, &lru, None);
+            replay_any(&trace[..], &mut h).expect("pristine trace");
+            h.stats()
+        })
+    });
+    group.finish();
+}
+
+/// Raw codec throughput, without a simulator attached.
+fn codec(c: &mut Criterion) {
+    let (g, plan, trace, events) = recorded_pagerank();
+    let mut group = c.benchmark_group("tracestore/codec");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(trace.len());
+            let mut writer =
+                ChunkWriter::create(&mut buf, &plan.space, "bench/pr").expect("writer");
+            App::Pagerank.trace(&g, &plan, &mut writer);
+            let (_, summary) = writer.finish().expect("finish");
+            summary.v2_bytes
+        })
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut sink = CountingSink::new();
+            replay_any(&trace[..], &mut sink).expect("pristine trace");
+            sink.accesses()
+        })
+    });
+    group.bench_function("decode_fanout_x4", |b| {
+        b.iter(|| {
+            let mut fan = FanoutSink::new(vec![
+                CountingSink::new(),
+                CountingSink::new(),
+                CountingSink::new(),
+                CountingSink::new(),
+            ]);
+            replay_any(&trace[..], &mut fan).expect("pristine trace");
+            fan.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, cell_drive, codec);
+criterion_main!(benches);

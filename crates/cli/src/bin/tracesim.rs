@@ -1,8 +1,10 @@
-//! `tracesim` — replay a recorded trace file (see `graphgen trace`)
-//! through the cache hierarchy under a chosen baseline policy, printing
-//! hierarchy statistics. Completes the decoupled capture/simulate workflow
-//! of Pin-style studies; runs with `--policy opt` perform the two-pass
-//! Belady replay automatically.
+//! `tracesim` — replay a recorded trace file (see `graphgen trace` and
+//! `experiments trace record`) through the cache hierarchy under a chosen
+//! baseline policy, printing hierarchy statistics. Accepts both the raw
+//! `POPTTRC1` format and the compressed chunked `POPTTRC2` format.
+//! Completes the decoupled capture/simulate workflow of Pin-style studies;
+//! runs with `--policy opt` perform the two-pass Belady replay
+//! automatically.
 //!
 //! ```text
 //! tracesim <trace.trc> [--policy NAME] [--llc BYTES] [--ways N] [--cores N]
@@ -70,7 +72,7 @@ fn main() -> ExitCode {
     let stats = match kind {
         Some(kind) => {
             let mut h = Hierarchy::with_cores(&cfg, cores, |s, w| kind.build(s, w));
-            if let Err(e) = popt_trace::file::replay(&bytes[..], &mut h) {
+            if let Err(e) = popt_tracestore::replay_any(&bytes[..], &mut h) {
                 eprintln!("replay failed: {e}");
                 return ExitCode::FAILURE;
             }
@@ -84,14 +86,14 @@ fn main() -> ExitCode {
             }
             let mut recorder = Hierarchy::new(&cfg, |s, w| PolicyKind::Lru.build(s, w));
             recorder.start_recording_llc();
-            if let Err(e) = popt_trace::file::replay(&bytes[..], &mut recorder) {
+            if let Err(e) = popt_tracestore::replay_any(&bytes[..], &mut recorder) {
                 eprintln!("replay failed: {e}");
                 return ExitCode::FAILURE;
             }
             let llc_stream = recorder.take_llc_recording();
             let mut h =
                 Hierarchy::new(&cfg, |s, w| Box::new(Belady::from_trace(s, w, &llc_stream)));
-            if let Err(e) = popt_trace::file::replay(&bytes[..], &mut h) {
+            if let Err(e) = popt_tracestore::replay_any(&bytes[..], &mut h) {
                 eprintln!("replay failed: {e}");
                 return ExitCode::FAILURE;
             }

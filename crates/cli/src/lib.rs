@@ -17,6 +17,7 @@ pub mod runner;
 pub mod serve;
 pub mod sweep;
 pub mod table;
+pub mod trace_cmd;
 
 /// Experiment scale: `Tiny` for CI smoke sweeps, `Small` for smoke tests /
 /// CI, `Standard` for the numbers recorded in `EXPERIMENTS.md`.

@@ -35,6 +35,9 @@ pub struct SweepOptions {
     /// Fault injection: panic every cell whose id contains this pattern
     /// (exercises the failure path end to end; see `--inject-fail`).
     pub inject_fail: Option<String>,
+    /// Record-once / replay-many trace sharing (default on; `--no-trace-share`
+    /// turns it off so every cell re-executes its kernel).
+    pub share_traces: bool,
 }
 
 impl SweepOptions {
@@ -46,6 +49,7 @@ impl SweepOptions {
             out: PathBuf::from("results/sweep"),
             only: Vec::new(),
             inject_fail: None,
+            share_traces: true,
         }
     }
 }
@@ -68,6 +72,8 @@ pub struct SweepSummary {
     pub failed: Vec<String>,
     /// Artifact-cache counters at completion.
     pub counters: popt_harness::CacheCounters,
+    /// Byte totals over the trace artifacts this run recorded or replayed.
+    pub traces: popt_harness::TraceTotals,
 }
 
 impl SweepSummary {
@@ -80,7 +86,8 @@ impl SweepSummary {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"scale\":\"{}\",\"jobs\":{},\"cells\":{},\"executed\":{},\"resumed\":{},\"failed\":[{}],\"cache\":{}}}\n",
+            "{{\"scale\":\"{}\",\"jobs\":{},\"cells\":{},\"executed\":{},\"resumed\":{},\"failed\":[{}],\"cache\":{},\
+             \"traces\":{{\"recorded\":{},\"replayed\":{},\"v1_bytes\":{},\"v2_bytes\":{},\"ratio\":{:.2}}}}}\n",
             scale.name(),
             jobs,
             self.executed + self.resumed,
@@ -88,6 +95,11 @@ impl SweepSummary {
             self.resumed,
             failed,
             self.counters.to_json(),
+            self.counters.trace_builds,
+            self.counters.trace_hits,
+            self.traces.v1_bytes,
+            self.traces.v2_bytes,
+            self.traces.ratio(),
         )
     }
 }
@@ -142,6 +154,9 @@ pub fn run_sweep(opts: &SweepOptions) -> std::io::Result<SweepSummary> {
     if let Some(pattern) = &opts.inject_fail {
         session = session.with_fault(pattern.clone());
     }
+    if !opts.share_traces {
+        session = session.without_trace_sharing();
+    }
     let mut failed = Vec::new();
     for (name, desc, runner) in selected {
         eprintln!(
@@ -172,6 +187,7 @@ pub fn run_sweep(opts: &SweepOptions) -> std::io::Result<SweepSummary> {
         resumed: session.resumed(),
         failed,
         counters: cache.counters(),
+        traces: cache.trace_totals(),
     };
     let report = session.finish()?;
     report.write(&opts.out)?;
@@ -213,12 +229,20 @@ mod tests {
                 graph_builds: 1,
                 matrix_hits: 6,
                 matrix_builds: 2,
+                trace_hits: 7,
+                trace_builds: 3,
+            },
+            traces: popt_harness::TraceTotals {
+                v1_bytes: 1300,
+                v2_bytes: 100,
             },
         };
         assert_eq!(
             s.to_json(Scale::Tiny, 2),
             "{\"scale\":\"tiny\",\"jobs\":2,\"cells\":5,\"executed\":3,\"resumed\":2,\"failed\":[],\
-             \"cache\":{\"graph_hits\":4,\"graph_builds\":1,\"matrix_hits\":6,\"matrix_builds\":2}}\n"
+             \"cache\":{\"graph_hits\":4,\"graph_builds\":1,\"matrix_hits\":6,\"matrix_builds\":2,\
+             \"trace_hits\":7,\"trace_builds\":3},\
+             \"traces\":{\"recorded\":3,\"replayed\":7,\"v1_bytes\":1300,\"v2_bytes\":100,\"ratio\":13.00}}\n"
         );
         s.failed = vec!["fig2".to_string(), "fig7".to_string()];
         assert!(s

@@ -1,0 +1,126 @@
+//! Acceptance tests for record-once / replay-many trace sharing: sweeps
+//! with sharing on must emit byte-identical result files to sweeps with
+//! sharing off, at any `--jobs` level, including across kill/resume.
+
+use popt_cli::sweep::{run_sweep, SweepOptions};
+use popt_cli::Scale;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/popt-cli-test/trace-share")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(out: PathBuf, jobs: usize, share_traces: bool, only: &[&str]) -> SweepOptions {
+    SweepOptions {
+        scale: Scale::Tiny,
+        jobs,
+        out,
+        only: only.iter().map(|s| s.to_string()).collect(),
+        inject_fail: None,
+        share_traces,
+    }
+}
+
+/// Every emitted result file (CSV and rendered text), keyed by file name.
+fn result_files(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("output dir exists") {
+        let entry = entry.unwrap();
+        let name = entry.file_name().into_string().unwrap();
+        if (name.ends_with(".csv") || name.ends_with(".txt")) && !name.starts_with("sweep_report") {
+            out.insert(name, std::fs::read(entry.path()).unwrap());
+        }
+    }
+    out
+}
+
+#[test]
+fn shared_sweep_is_byte_identical_to_unshared_at_any_jobs() {
+    // fig2 runs many policies over the same (graph, kernel) pairs — the
+    // sharing hot path. The unshared serial run is the ground truth.
+    let selection = ["fig2"];
+    let unshared_dir = scratch("unshared");
+    let shared_serial_dir = scratch("shared-serial");
+    let shared_parallel_dir = scratch("shared-parallel");
+    let unshared = run_sweep(&opts(unshared_dir.clone(), 1, false, &selection)).unwrap();
+    let shared_serial = run_sweep(&opts(shared_serial_dir.clone(), 1, true, &selection)).unwrap();
+    let shared_parallel =
+        run_sweep(&opts(shared_parallel_dir.clone(), 4, true, &selection)).unwrap();
+
+    assert_eq!(unshared.counters.trace_builds, 0, "sharing off: no store");
+    assert_eq!(unshared.counters.trace_hits, 0);
+    assert!(
+        shared_serial.counters.trace_builds > 0,
+        "sharing on: kernels record"
+    );
+    assert!(
+        shared_serial.counters.trace_hits > 0,
+        "sharing on: sibling cells replay"
+    );
+    assert!(
+        shared_serial.traces.ratio() > 1.0,
+        "recorded artifacts compress"
+    );
+    assert_eq!(shared_parallel.executed, unshared.executed);
+    assert!(shared_parallel.counters.trace_hits > 0);
+
+    let truth = result_files(&unshared_dir);
+    assert!(!truth.is_empty(), "sweep emitted result files");
+    for (dir, label) in [
+        (&shared_serial_dir, "serial shared"),
+        (&shared_parallel_dir, "parallel shared"),
+    ] {
+        let got = result_files(dir);
+        assert_eq!(
+            truth.keys().collect::<Vec<_>>(),
+            got.keys().collect::<Vec<_>>(),
+            "{label}: same set of result files"
+        );
+        for (name, bytes) in &truth {
+            assert_eq!(bytes, &got[name], "{label}: {name} must be byte-identical");
+        }
+    }
+    // The journals agree too: replayed events drive identical stats.
+    assert_eq!(
+        std::fs::read(unshared_dir.join("sweep_manifest.jsonl")).unwrap(),
+        std::fs::read(shared_parallel_dir.join("sweep_manifest.jsonl")).unwrap()
+    );
+}
+
+#[test]
+fn killed_shared_sweep_resumes_onto_identical_outputs() {
+    // A sweep that only got through fig2 stands in for a killed run; the
+    // restart finishes fig4 against the already-recorded traces.
+    let reference_dir = scratch("resume-reference");
+    run_sweep(&opts(reference_dir.clone(), 1, false, &["fig2", "fig4"])).unwrap();
+
+    let dir = scratch("resume-shared");
+    let partial = run_sweep(&opts(dir.clone(), 2, true, &["fig2"])).unwrap();
+    assert!(partial.executed > 0);
+    let resumed = run_sweep(&opts(dir.clone(), 2, true, &["fig2", "fig4"])).unwrap();
+    assert_eq!(
+        resumed.resumed, partial.executed,
+        "fig2 replays from journal"
+    );
+    assert!(resumed.executed > 0, "fig4 cells still simulate");
+    // Recorded trace artifacts persisted across the restart: the resumed
+    // process validates them instead of re-recording.
+    assert!(resumed.counters.trace_hits > 0);
+
+    let truth = result_files(&reference_dir);
+    let got = result_files(&dir);
+    for (name, bytes) in &truth {
+        assert_eq!(
+            bytes, &got[name],
+            "{name}: kill+resume with sharing matches the unshared reference"
+        );
+    }
+    let json = std::fs::read_to_string(dir.join("sweep_summary.json")).unwrap();
+    assert!(json.contains("\"traces\":{\"recorded\":"), "{json}");
+    assert!(json.contains("\"ratio\":"), "{json}");
+}

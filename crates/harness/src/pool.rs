@@ -57,18 +57,20 @@ pub fn run_jobs<'env, T: Send + 'env>(threads: usize, jobs: Vec<Job<'env, T>>) -
                 // No job ever enqueues more work, so "every deque empty"
                 // is a stable exit condition.
                 loop {
-                    let task = queues[w]
-                        .lock()
-                        .expect("queue lock")
-                        .pop_front()
-                        .or_else(|| {
-                            (1..workers).find_map(|off| {
-                                queues[(w + off) % workers]
-                                    .lock()
-                                    .expect("queue lock")
-                                    .pop_back()
-                            })
-                        });
+                    // Pop from the own deque in its own statement so the
+                    // guard drops before stealing: holding it while
+                    // locking a neighbour's deque lets N empty workers
+                    // deadlock in a cycle, each holding its own lock and
+                    // blocking on the next.
+                    let own = queues[w].lock().expect("queue lock").pop_front();
+                    let task = own.or_else(|| {
+                        (1..workers).find_map(|off| {
+                            queues[(w + off) % workers]
+                                .lock()
+                                .expect("queue lock")
+                                .pop_back()
+                        })
+                    });
                     match task {
                         Some((idx, job)) => {
                             let out = job();
@@ -153,6 +155,20 @@ mod tests {
             started.elapsed() < std::time::Duration::from_secs(5),
             "stealing failed; run serialized"
         );
+    }
+
+    #[test]
+    fn empty_workers_stealing_from_each_other_do_not_deadlock() {
+        // Endgame regression: when every deque drains at once, all
+        // workers enter the steal path together. Holding the own-queue
+        // lock across the steal (the old code's temporary-lifetime bug)
+        // deadlocks a cycle of empty workers; many tiny jobs across many
+        // workers makes that window hot.
+        for _ in 0..200 {
+            let jobs: Vec<Job<'_, usize>> = (0..16).map(|i| boxed(move || i)).collect();
+            let out = run_jobs(7, jobs);
+            assert_eq!(out, (0..16).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -11,7 +11,40 @@
 use crate::{Access, AccessKind, SiteId, TraceEvent, TraceSink};
 use std::io::{BufReader, BufWriter, Read, Write};
 
-const MAGIC: &[u8; 8] = b"POPTTRC1";
+/// Magic bytes of the raw (uncompressed) `POPTTRC1` format this module
+/// reads and writes.
+pub const MAGIC_V1: &[u8; 8] = b"POPTTRC1";
+
+/// Magic bytes of the chunked, compressed `POPTTRC2` format implemented
+/// by `popt-tracestore`. Declared here so both formats' magics live next
+/// to the version sniffer.
+pub const MAGIC_V2: &[u8; 8] = b"POPTTRC2";
+
+const MAGIC: &[u8; 8] = MAGIC_V1;
+
+/// Trace container version, as determined by the leading magic bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceVersion {
+    /// Raw tag+payload stream (`POPTTRC1`).
+    V1,
+    /// Chunked, delta+varint compressed store (`POPTTRC2`).
+    V2,
+}
+
+/// Classifies the leading magic bytes of a trace stream.
+///
+/// # Errors
+///
+/// [`TraceFileError::BadMagic`] when the bytes are neither known magic.
+pub fn sniff_magic(magic: &[u8; 8]) -> Result<TraceVersion, TraceFileError> {
+    if magic == MAGIC_V1 {
+        Ok(TraceVersion::V1)
+    } else if magic == MAGIC_V2 {
+        Ok(TraceVersion::V2)
+    } else {
+        Err(TraceFileError::BadMagic { found: *magic })
+    }
+}
 
 const TAG_READ: u8 = 0;
 const TAG_WRITE: u8 = 1;
@@ -21,20 +54,92 @@ const TAG_ITERATION: u8 = 4;
 const TAG_INSTRUCTIONS: u8 = 5;
 const TAG_CORE: u8 = 6;
 
-/// Error type for trace file operations.
+/// Error type for trace file operations (both the raw v1 format here and
+/// the chunked v2 format in `popt-tracestore`).
+///
+/// Every malformed-input condition is a structured variant, so callers can
+/// distinguish "wrong file" ([`BadMagic`]) from "right file, wrong reader"
+/// ([`UnsupportedVersion`]) from per-chunk damage ([`ChunkChecksum`],
+/// [`ChunkCorrupt`]) that leaves earlier chunks usable.
+///
+/// [`BadMagic`]: TraceFileError::BadMagic
+/// [`UnsupportedVersion`]: TraceFileError::UnsupportedVersion
+/// [`ChunkChecksum`]: TraceFileError::ChunkChecksum
+/// [`ChunkCorrupt`]: TraceFileError::ChunkCorrupt
 #[derive(Debug)]
 pub enum TraceFileError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// Bad magic or corrupt payload.
-    Format(String),
+    /// The leading bytes match no known trace magic.
+    BadMagic {
+        /// The eight bytes actually found.
+        found: [u8; 8],
+    },
+    /// A known trace magic that this entry point does not decode (e.g. a
+    /// `POPTTRC2` file handed to the v1-only [`replay`]; use
+    /// `popt_tracestore::replay_any` for version dispatch).
+    UnsupportedVersion {
+        /// The magic actually found.
+        found: [u8; 8],
+    },
+    /// The stream ended in the middle of the named structure.
+    Truncated {
+        /// Which structure was cut short (e.g. `"magic"`, `"event payload"`).
+        what: &'static str,
+    },
+    /// An event tag byte outside the format's vocabulary.
+    UnknownTag {
+        /// The offending tag.
+        tag: u8,
+    },
+    /// Container-level damage outside any chunk (header or footer).
+    Corrupt {
+        /// What was malformed.
+        what: &'static str,
+    },
+    /// A chunk's payload failed its checksum; chunks before `chunk` have
+    /// already been delivered intact.
+    ChunkChecksum {
+        /// Zero-based index of the damaged chunk.
+        chunk: u64,
+    },
+    /// A chunk's payload passed its checksum but does not decode (or its
+    /// header is malformed).
+    ChunkCorrupt {
+        /// Zero-based index of the damaged chunk.
+        chunk: u64,
+        /// What was malformed inside it.
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for TraceFileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceFileError::Io(e) => write!(f, "i/o error: {e}"),
-            TraceFileError::Format(m) => write!(f, "malformed trace file: {m}"),
+            TraceFileError::BadMagic { found } => {
+                write!(f, "malformed trace file: bad magic {:02x?}", &found[..])
+            }
+            TraceFileError::UnsupportedVersion { found } => write!(
+                f,
+                "trace version {:?} is not supported by this reader",
+                String::from_utf8_lossy(&found[..])
+            ),
+            TraceFileError::Truncated { what } => {
+                write!(f, "malformed trace file: truncated {what}")
+            }
+            TraceFileError::UnknownTag { tag } => {
+                write!(f, "malformed trace file: unknown event tag {tag}")
+            }
+            TraceFileError::Corrupt { what } => {
+                write!(f, "malformed trace file: {what}")
+            }
+            TraceFileError::ChunkChecksum { chunk } => {
+                write!(f, "trace chunk {chunk} failed its checksum")
+            }
+            TraceFileError::ChunkCorrupt { chunk, what } => {
+                write!(f, "trace chunk {chunk} is corrupt: {what}")
+            }
         }
     }
 }
@@ -157,21 +262,38 @@ impl<W: Write> TraceSink for TraceWriter<W> {
     }
 }
 
-/// Replays a recorded trace into `sink`, returning the number of events
-/// delivered.
+/// Replays a recorded `POPTTRC1` trace into `sink`, returning the number
+/// of events delivered.
 ///
 /// # Errors
 ///
-/// Returns [`TraceFileError::Format`] on bad magic or a truncated payload.
-pub fn replay<R: Read, S: TraceSink>(reader: R, mut sink: S) -> Result<u64, TraceFileError> {
+/// [`TraceFileError::Truncated`] on a short magic or event payload,
+/// [`TraceFileError::BadMagic`] on unknown leading bytes,
+/// [`TraceFileError::UnsupportedVersion`] when handed a `POPTTRC2` file
+/// (use `popt_tracestore::replay_any` for version dispatch), and
+/// [`TraceFileError::UnknownTag`] on an unrecognized event tag.
+pub fn replay<R: Read, S: TraceSink>(reader: R, sink: S) -> Result<u64, TraceFileError> {
     let mut input = BufReader::new(reader);
     let mut magic = [0u8; 8];
     input
         .read_exact(&mut magic)
-        .map_err(|_| TraceFileError::Format("truncated magic".into()))?;
-    if &magic != MAGIC {
-        return Err(TraceFileError::Format("bad magic".into()));
+        .map_err(|_| TraceFileError::Truncated { what: "magic" })?;
+    match sniff_magic(&magic)? {
+        TraceVersion::V1 => replay_events(input, sink),
+        TraceVersion::V2 => Err(TraceFileError::UnsupportedVersion { found: magic }),
     }
+}
+
+/// Replays a v1 tag+payload event stream whose magic has already been
+/// consumed (and verified) by the caller. This is the decode loop shared
+/// by [`replay`] and `popt-tracestore`'s version-dispatching reader.
+///
+/// # Errors
+///
+/// [`TraceFileError::Truncated`] on a short event payload and
+/// [`TraceFileError::UnknownTag`] on an unrecognized event tag.
+pub fn replay_events<R: Read, S: TraceSink>(reader: R, mut sink: S) -> Result<u64, TraceFileError> {
+    let mut input = BufReader::new(reader);
     let mut count = 0u64;
     let mut tag = [0u8; 1];
     loop {
@@ -182,7 +304,9 @@ pub fn replay<R: Read, S: TraceSink>(reader: R, mut sink: S) -> Result<u64, Trac
         }
         let mut u32buf = [0u8; 4];
         let mut u64buf = [0u8; 8];
-        let truncated = |_| TraceFileError::Format("truncated event payload".into());
+        let truncated = |_| TraceFileError::Truncated {
+            what: "event payload",
+        };
         let event = match tag[0] {
             TAG_READ | TAG_WRITE => {
                 input.read_exact(&mut u64buf).map_err(truncated)?;
@@ -213,7 +337,7 @@ pub fn replay<R: Read, S: TraceSink>(reader: R, mut sink: S) -> Result<u64, Trac
                 input.read_exact(&mut u32buf).map_err(truncated)?;
                 TraceEvent::Core(u32::from_le_bytes(u32buf))
             }
-            other => return Err(TraceFileError::Format(format!("unknown event tag {other}"))),
+            other => return Err(TraceFileError::UnknownTag { tag: other }),
         };
         sink.event(event);
         count += 1;
@@ -258,7 +382,25 @@ mod tests {
         let mut rec = RecordingSink::new();
         assert!(matches!(
             replay(&b"NOTATRCE"[..], &mut rec),
-            Err(TraceFileError::Format(_))
+            Err(TraceFileError::BadMagic { found }) if &found == b"NOTATRCE"
+        ));
+    }
+
+    #[test]
+    fn v2_magic_is_unsupported_here() {
+        let mut rec = RecordingSink::new();
+        assert!(matches!(
+            replay(&MAGIC_V2[..], &mut rec),
+            Err(TraceFileError::UnsupportedVersion { found }) if &found == MAGIC_V2
+        ));
+    }
+
+    #[test]
+    fn short_magic_is_truncated() {
+        let mut rec = RecordingSink::new();
+        assert!(matches!(
+            replay(&b"POPT"[..], &mut rec),
+            Err(TraceFileError::Truncated { what: "magic" })
         ));
     }
 
@@ -272,7 +414,7 @@ mod tests {
         let mut rec = RecordingSink::new();
         assert!(matches!(
             replay(&buf[..], &mut rec),
-            Err(TraceFileError::Format(_))
+            Err(TraceFileError::Truncated { .. })
         ));
     }
 
