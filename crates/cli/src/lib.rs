@@ -13,6 +13,7 @@
 
 pub mod exec;
 pub mod experiments;
+pub mod oracle_cmd;
 pub mod runner;
 pub mod serve;
 pub mod sweep;

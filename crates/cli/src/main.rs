@@ -47,6 +47,7 @@ fn usage() {
         "       experiments sweep [exp...] [--scale S] [--jobs N] [--out DIR] [--no-trace-share]"
     );
     eprintln!("       experiments trace record|replay|info ... (see: experiments trace --help)");
+    eprintln!("       experiments oracle [--sets N] [--ways N] [--seed S] [--deep] [FILE...]");
     eprintln!("       experiments serve [--addr A] [--jobs N] [--queue-depth N] [--out DIR]");
     eprintln!(
         "       experiments submit --addr A|ADDRFILE [exp...] [--scale S] [--deadline-ms N] [--no-wait]"
@@ -216,6 +217,7 @@ fn main() -> ExitCode {
         Some("serve") => return serve_main(args.split_off(1)),
         Some("submit") => return submit_main(args.split_off(1)),
         Some("trace") => return popt_cli::trace_cmd::trace_main(args.split_off(1)),
+        Some("oracle") => return popt_cli::oracle_cmd::oracle_main(args.split_off(1)),
         _ => {}
     }
     let cli = match parse_args(args) {

@@ -1,0 +1,259 @@
+//! The `oracle` subcommand: run the differential-testing battery from the
+//! command line.
+//!
+//! ```text
+//! experiments oracle [--sets N] [--ways N] [--seed S] [--deep]
+//!                    [--skip-kernels] [FILE...]
+//! ```
+//!
+//! Three trace sources feed the same check battery (Belady bound and
+//! exactness, Mattson/LRU exactness, stack inclusion, and the metamorphic
+//! suites):
+//!
+//! * built-in adversarial generators (scans, ways±1 thrash loops, mixed
+//!   streaming/reuse, random) across a geometry sweep;
+//! * kernel traces over small synthetic graphs, with T-OPT and P-OPT
+//!   joining the zoo (skippable with `--skip-kernels`);
+//! * any recorded `POPTTRC2` artifacts given as positional `FILE`s,
+//!   decoded once and checked at the `--sets`/`--ways` geometry.
+//!
+//! The report is deterministic for fixed inputs; the exit code is nonzero
+//! iff any invariant was violated, so the CI oracle job can gate on it.
+
+use popt_graph::generators;
+use popt_kernels::App;
+use popt_oracle::{gen, graph_aware_policies, NamedPolicy, OracleReport, TraceCase};
+use popt_trace::RecordingSink;
+use popt_tracestore::replay_any;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() {
+    eprintln!(
+        "usage: experiments oracle [--sets N] [--ways N] [--seed S] [--deep]\n\
+         \u{20}                         [--skip-kernels] [FILE...]\n\
+         checks the policy zoo against Mattson/MIN reference models on\n\
+         adversarial traces, kernel traces, and recorded POPTTRC2 FILEs"
+    );
+}
+
+struct OracleOptions {
+    /// Geometry for stored-trace cases.
+    sets: usize,
+    ways: usize,
+    /// Seed for the adversarial batch (CI's randomized smoke varies it).
+    seed: u64,
+    /// Wider geometry sweep and more seeds.
+    deep: bool,
+    /// Skip the kernel-trace section (matrix builds dominate its runtime).
+    skip_kernels: bool,
+    /// Recorded POPTTRC2 artifacts to check.
+    traces: Vec<PathBuf>,
+}
+
+impl Default for OracleOptions {
+    fn default() -> Self {
+        OracleOptions {
+            sets: 8,
+            ways: 8,
+            seed: 0x0BAD_5EED_0001,
+            deep: false,
+            skip_kernels: false,
+            traces: Vec::new(),
+        }
+    }
+}
+
+fn parse_oracle_args(args: Vec<String>) -> Result<Option<OracleOptions>, String> {
+    let mut opts = OracleOptions::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--sets" => {
+                let v = iter.next().ok_or("--sets needs a positive integer")?;
+                opts.sets = v
+                    .parse()
+                    .ok()
+                    .filter(|n: &usize| *n > 0)
+                    .ok_or_else(|| format!("bad --sets value: {v}"))?;
+            }
+            "--ways" => {
+                let v = iter.next().ok_or("--ways needs a positive integer")?;
+                opts.ways = v
+                    .parse()
+                    .ok()
+                    .filter(|n: &usize| *n > 0)
+                    .ok_or_else(|| format!("bad --ways value: {v}"))?;
+            }
+            "--seed" => {
+                let v = iter.next().ok_or("--seed needs an integer")?;
+                opts.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
+            }
+            "--deep" => opts.deep = true,
+            "--skip-kernels" => opts.skip_kernels = true,
+            "--help" | "-h" => return Ok(None),
+            file if !file.starts_with('-') => opts.traces.push(PathBuf::from(file)),
+            other => return Err(format!("unknown oracle argument: {other}")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+/// Checks one recorded trace file. Stored traces carry no graph, so only
+/// the graph-free zoo applies; region classes default to streaming.
+fn check_stored_trace(
+    report: &mut OracleReport,
+    zoo: &[NamedPolicy],
+    path: &Path,
+    opts: &OracleOptions,
+) -> Result<(), String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut rec = RecordingSink::new();
+    replay_any(file, &mut rec).map_err(|e| format!("{}: {e}", path.display()))?;
+    let name = path.file_name().map_or_else(
+        || path.display().to_string(),
+        |n| n.to_string_lossy().into_owned(),
+    );
+    let case = TraceCase::from_events(&name, opts.sets, opts.ways, rec.events(), None);
+    if case.num_accesses() == 0 {
+        return Err(format!("{}: trace contains no accesses", path.display()));
+    }
+    report.check_case(&case, zoo);
+    Ok(())
+}
+
+fn run_oracle(opts: &OracleOptions) -> Result<OracleReport, String> {
+    let zoo = NamedPolicy::zoo();
+    let mut report = OracleReport::new();
+
+    // Adversarial synthetic batch.
+    let geometries: &[(usize, usize)] = if opts.deep {
+        &[(1, 2), (2, 4), (4, 8), (8, 16)]
+    } else {
+        &[(2, 4), (4, 8)]
+    };
+    let rounds = if opts.deep { 4 } else { 1 };
+    for &(sets, ways) in geometries {
+        for round in 0..rounds {
+            for case in gen::adversarial_cases(sets, ways, opts.seed.wrapping_add(round)) {
+                report.check_case(&case, &zoo);
+            }
+        }
+    }
+
+    // Kernel traces over synthetic graphs, with the graph-aware policies.
+    if !opts.skip_kernels {
+        let runs = [
+            (App::Pagerank, generators::uniform_random(96, 480, 11)),
+            (App::Components, generators::mesh(8, 2, 12)),
+            (App::Mis, generators::preferential_attachment(80, 3, 13)),
+        ];
+        for (app, g) in runs {
+            let plan = app.plan(&g);
+            let mut sink = RecordingSink::new();
+            app.trace(&g, &plan, &mut sink);
+            let name = format!("kernel/{app}");
+            let case = TraceCase::from_events(&name, 8, 8, sink.events(), Some(&plan.space));
+            let mut policies = NamedPolicy::zoo();
+            policies.extend(graph_aware_policies(app, &g));
+            report.check_case(&case, &policies);
+        }
+    }
+
+    // Recorded artifacts.
+    for path in &opts.traces {
+        check_stored_trace(&mut report, &zoo, path, opts)?;
+    }
+    Ok(report)
+}
+
+/// Entry point for `experiments oracle ...`.
+pub fn oracle_main(args: Vec<String>) -> ExitCode {
+    let opts = match parse_oracle_args(args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            usage();
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_oracle(&opts) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("oracle failed: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_battery_passes_and_renders_deterministically() {
+        let opts = OracleOptions {
+            skip_kernels: true,
+            ..OracleOptions::default()
+        };
+        let a = run_oracle(&opts).expect("battery runs");
+        let b = run_oracle(&opts).expect("battery runs");
+        assert!(a.ok(), "{}", a.render());
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn seed_changes_the_cases_but_not_the_verdict() {
+        let mut opts = OracleOptions {
+            skip_kernels: true,
+            ..OracleOptions::default()
+        };
+        opts.seed = 42;
+        let r = run_oracle(&opts).expect("battery runs");
+        assert!(r.ok(), "{}", r.render());
+    }
+
+    #[test]
+    fn arg_parsing_covers_the_flag_vocabulary() {
+        let opts = parse_oracle_args(
+            [
+                "--sets", "4", "--ways", "2", "--seed", "7", "--deep", "a.trc",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        )
+        .expect("valid args")
+        .expect("not help");
+        assert_eq!((opts.sets, opts.ways, opts.seed), (4, 2, 7));
+        assert!(opts.deep);
+        assert_eq!(opts.traces, vec![PathBuf::from("a.trc")]);
+        assert!(parse_oracle_args(vec!["--help".into()])
+            .expect("ok")
+            .is_none());
+        assert!(parse_oracle_args(vec!["--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn missing_trace_file_is_a_clean_error() {
+        let opts = OracleOptions {
+            skip_kernels: true,
+            traces: vec![PathBuf::from("/nonexistent/never.trc")],
+            ..OracleOptions::default()
+        };
+        // The synthetic battery still runs; the stored-trace pass fails.
+        let err = run_oracle(&opts).expect_err("missing file must error");
+        assert!(err.contains("never.trc"), "{err}");
+    }
+}

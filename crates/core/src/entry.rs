@@ -151,7 +151,10 @@ impl RawEntry {
     /// Distance payload for an absent entry (Algorithm 2 line 6).
     pub fn distance(&self, quant: Quantization, enc: Encoding) -> u16 {
         debug_assert!(!self.is_present(quant, enc) || enc == Encoding::InterOnly);
-        self.0 & ((1 << enc.payload_bits(quant)) - 1)
+        // Widened like `max_distance`: inter-only at 16-bit quantization
+        // has 16 payload bits, which overflows a u16 shift (debug panic;
+        // in release the mask collapses to 0 and every distance reads 0).
+        cast::exact::<u16, u32>(u32::from(self.0) & ((1u32 << enc.payload_bits(quant)) - 1))
     }
 
     /// Whether the distance payload is the ∞ sentinel.
@@ -162,7 +165,8 @@ impl RawEntry {
     /// Final-access sub-epoch for a present entry (Algorithm 2 line 8).
     pub fn last_sub_epoch(&self, quant: Quantization, enc: Encoding) -> u32 {
         debug_assert!(self.is_present(quant, enc));
-        u32::from(self.0 & ((1 << enc.payload_bits(quant)) - 1))
+        // Widened for the same reason as `distance`.
+        u32::from(self.0) & ((1u32 << enc.payload_bits(quant)) - 1)
     }
 
     /// P-OPT-SE's "accessed in next epoch" flag.
@@ -230,6 +234,62 @@ mod tests {
         assert!(!p2.accessed_next_epoch(Q8, enc));
         let a = RawEntry::absent(Some(70), Q8, enc);
         assert_eq!(a.distance(Q8, enc), 63); // saturated
+    }
+
+    /// Regression (found by the saturation property test below): the
+    /// limit-study configuration — inter-only entries at 16-bit
+    /// quantization — has 16 payload bits, and `distance` masked with
+    /// `1u16 << 16`: a debug-mode panic, and in release a zero mask that
+    /// made every absent line report distance 0 (immediately reusable).
+    #[test]
+    fn inter_only_sixteen_bit_distances_survive_the_full_payload() {
+        let q16 = Quantization::SIXTEEN;
+        let enc = Encoding::InterOnly;
+        assert_eq!(enc.payload_bits(q16), 16);
+        let e = RawEntry::absent(Some(40_000), q16, enc);
+        assert_eq!(e.distance(q16, enc), 40_000);
+        assert!(!e.is_infinite(q16, enc));
+        let far = RawEntry::absent(Some(1 << 20), q16, enc);
+        assert_eq!(far.distance(q16, enc), enc.max_distance(q16));
+        assert!(far.is_infinite(q16, enc));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(512))]
+
+        /// For every encoding × bit-width pair, a next-reference distance
+        /// at or beyond the encoding's representable range saturates to
+        /// exactly the ∞ sentinel, and everything below it roundtrips —
+        /// the quantization contract `RerefMatrix::next_ref` leans on when
+        /// it lifts raw payloads to epoch distances.
+        #[test]
+        fn absent_distances_saturate_for_every_encoding_and_width(
+            raw_bits in 2u8..=16,
+            enc_idx in 0usize..3,
+            distance in 1u32..1_000_000,
+        ) {
+            use proptest::prelude::{prop_assert, prop_assert_eq};
+            let enc =
+                [Encoding::InterOnly, Encoding::InterIntra, Encoding::SingleEpoch][enc_idx];
+            // Keep at least one payload bit after the encoding's flags.
+            let q = Quantization::new(raw_bits.max(enc.flag_bits() + 1).max(2));
+            let max = enc.max_distance(q);
+            let e = RawEntry::absent(Some(distance), q, enc);
+            prop_assert!(!e.is_present(q, enc));
+            if distance >= u32::from(max) {
+                prop_assert_eq!(e.distance(q, enc), max, "must saturate at the sentinel");
+                prop_assert!(e.is_infinite(q, enc));
+            } else {
+                prop_assert_eq!(u32::from(e.distance(q, enc)), distance, "must roundtrip");
+                prop_assert!(!e.is_infinite(q, enc));
+            }
+            // The explicit "never again" entry coincides bit-for-bit with
+            // the saturated form.
+            prop_assert_eq!(
+                RawEntry::absent(None, q, enc).0,
+                RawEntry::absent(Some(u32::MAX), q, enc).0
+            );
+        }
     }
 
     #[test]

@@ -526,6 +526,24 @@ mod tests {
     }
 
     #[test]
+    fn long_range_reuse_saturates_to_infinity_under_narrow_quantization() {
+        // Line 0 is referenced at outer vertices 1 (epoch 0) and 999
+        // (epoch 15). A 4-bit inter+intra entry has a 3-bit payload, so
+        // from early epochs the ~14-epoch gap exceeds the representable
+        // range and must read as the ∞ sentinel — not wrap into a short
+        // distance that would make the line look imminently reusable.
+        let g = Graph::from_edges(1000, &[(0, 1), (0, 999)]).expect("valid");
+        let q = Quantization::FOUR;
+        let m = RerefMatrix::build(g.out_csr(), 1, 1, q, Encoding::InterIntra);
+        assert_eq!(m.epoch_size(), 63); // ceil(1000 / 16)
+        assert_eq!(Encoding::InterIntra.max_distance(q), 7);
+        // Epoch 2: true distance 13 epochs — beyond the payload.
+        assert_eq!(m.next_ref(0, 2 * 63), INFINITE_DISTANCE);
+        // Epoch 12: true distance 3 epochs — representable exactly.
+        assert_eq!(m.next_ref(0, 12 * 63), 3);
+    }
+
+    #[test]
     fn matrix_matches_brute_force_oracle_on_random_graphs() {
         use popt_graph::generators;
         let g = generators::uniform_random(600, 4000, 99);

@@ -1,0 +1,146 @@
+//! An independent Belady/MIN reference simulator.
+//!
+//! Deliberately implemented against nothing but the raw line stream — no
+//! `ReplacementPolicy`, no `SetAssocCache` — so that a bug in the
+//! simulator's probe/fill/victim plumbing cannot cancel out an identical
+//! bug here. Two facts make it an oracle:
+//!
+//! 1. **Optimality.** For a demand-fill set-associative cache, evicting
+//!    the resident line whose next use lies furthest in the future is
+//!    optimal (Belady 1966; Mattson et al. 1970 for the set-partitioned
+//!    case, since sets are independent). No policy may produce fewer
+//!    misses on any trace.
+//! 2. **Uniqueness of outcomes.** MIN's hit/miss sequence is unique even
+//!    though victim choice may tie: ties can only occur between lines that
+//!    are both never referenced again, and evicting either produces the
+//!    same outcome for every later access. `policies/belady.rs` must
+//!    therefore match this model access-for-access, not just in total.
+
+use std::collections::HashMap;
+
+/// Next-use sentinel: the line is never referenced again.
+const NEVER: u64 = u64::MAX;
+
+/// Outcome of a MIN simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinResult {
+    /// Per-access hit/miss in trace order (`true` = hit).
+    pub outcomes: Vec<bool>,
+    /// Total misses (including cold misses).
+    pub misses: u64,
+}
+
+/// Simulates Belady's MIN on `lines` for a `sets × ways` cache
+/// (`set = line % sets`), returning per-access outcomes.
+///
+/// # Panics
+///
+/// Panics if `sets == 0` or `ways == 0`.
+pub fn simulate_min(sets: usize, ways: usize, lines: &[u64]) -> MinResult {
+    assert!(sets > 0 && ways > 0, "degenerate cache geometry");
+
+    // Forward pass: collect every line's occurrence positions, then each
+    // access's next-use position is the following occurrence.
+    let mut occurrences: HashMap<u64, Vec<u64>> = HashMap::new();
+    for (i, &line) in lines.iter().enumerate() {
+        occurrences.entry(line).or_default().push(i as u64);
+    }
+    let mut cursor: HashMap<u64, usize> = HashMap::new();
+    let mut next_use = vec![NEVER; lines.len()];
+    for (i, &line) in lines.iter().enumerate() {
+        let occ = &occurrences[&line];
+        let k = cursor.entry(line).or_insert(0);
+        debug_assert_eq!(occ[*k], i as u64);
+        next_use[i] = occ.get(*k + 1).copied().unwrap_or(NEVER);
+        *k += 1;
+    }
+
+    // Per-set resident lines as (line, next_use_position) pairs.
+    let mut resident: Vec<Vec<(u64, u64)>> = vec![Vec::new(); sets];
+    let mut outcomes = Vec::with_capacity(lines.len());
+    let mut misses = 0u64;
+    for (i, &line) in lines.iter().enumerate() {
+        let set = &mut resident[(line % sets as u64) as usize];
+        if let Some(entry) = set.iter_mut().find(|(l, _)| *l == line) {
+            entry.1 = next_use[i];
+            outcomes.push(true);
+            continue;
+        }
+        misses += 1;
+        outcomes.push(false);
+        if set.len() == ways {
+            let victim = set
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &(_, nu))| nu)
+                .map(|(idx, _)| idx)
+                .expect("full set has a victim");
+            set.swap_remove(victim);
+        }
+        set.push((line, next_use[i]));
+    }
+    MinResult { outcomes, misses }
+}
+
+/// The optimal (minimum achievable) miss count for `lines` on a
+/// `sets × ways` cache.
+pub fn min_misses(sets: usize, ways: usize, lines: &[u64]) -> u64 {
+    simulate_min(sets, ways, lines).misses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_walkthrough() {
+        // The paper's Figure 3, 2-way: S1 S2 S4 S2 S3 S0. MIN keeps S2
+        // across the S4 fill, so exactly the second S2 hits.
+        let r = simulate_min(1, 2, &[1, 2, 4, 2, 3, 0]);
+        assert_eq!(r.outcomes, vec![false, false, false, true, false, false]);
+        assert_eq!(r.misses, 5);
+    }
+
+    #[test]
+    fn working_set_that_fits_only_cold_misses() {
+        let lines: Vec<u64> = (0..4u64).cycle().take(100).collect();
+        let r = simulate_min(1, 4, &lines);
+        assert_eq!(r.misses, 4);
+    }
+
+    #[test]
+    fn cyclic_thrash_misses_once_per_round() {
+        // N+1 lines cycling through N ways: each miss evicts the line whose
+        // next use is furthest (N accesses away), which becomes the next
+        // miss — steady-state miss rate exactly 1/N. For 4 ways, 5 lines,
+        // 1000 accesses: 4 cold + misses at positions 4, 8, …, 996 = 253.
+        let lines: Vec<u64> = (0..5u64).cycle().take(1000).collect();
+        let r = simulate_min(1, 4, &lines);
+        assert_eq!(r.misses, 253);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        // Two interleaved single-set problems must not interact.
+        let a: Vec<u64> = [0u64, 2, 4, 0, 2, 4].to_vec(); // set 0 of 2 sets
+        let b: Vec<u64> = [1u64, 3, 5, 1, 3, 5].to_vec(); // set 1
+        let interleaved: Vec<u64> = a.iter().zip(&b).flat_map(|(&x, &y)| [x, y]).collect();
+        let merged = simulate_min(2, 2, &interleaved);
+        let alone_a = simulate_min(1, 2, &a);
+        let alone_b = simulate_min(1, 2, &b);
+        assert_eq!(merged.misses, alone_a.misses + alone_b.misses);
+    }
+
+    #[test]
+    fn misses_are_monotone_in_trace_length() {
+        // Optimal misses cannot decrease when the trace grows: an optimal
+        // schedule for the longer trace is feasible for the prefix.
+        let lines: Vec<u64> = (0..400u64).map(|i| (i * 13 + i / 7) % 29).collect();
+        let mut prev = 0;
+        for cut in (0..=lines.len()).step_by(23) {
+            let m = min_misses(2, 4, &lines[..cut]);
+            assert!(m >= prev, "prefix {cut}: {m} < {prev}");
+            prev = m;
+        }
+    }
+}

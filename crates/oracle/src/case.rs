@@ -1,0 +1,254 @@
+//! The unit of differential testing: one named trace against one cache
+//! geometry.
+
+use popt_sim::{AccessMeta, ControlEvent};
+use popt_trace::{AccessKind, AddressSpace, RegionClass, SiteId, TraceEvent};
+
+/// One step of a drive: a demand access or a software control event
+/// (graph-aware policies consume the latter; everyone else ignores them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriveOp {
+    /// A demand access.
+    Access(AccessMeta),
+    /// A control message forwarded to the policy.
+    Control(ControlEvent),
+}
+
+/// A named trace plus the single-level cache geometry to run it against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCase {
+    /// Case label (stable across runs; used in reports).
+    pub name: String,
+    /// Number of sets (`set = line % sets`).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// The drive sequence.
+    pub ops: Vec<DriveOp>,
+}
+
+impl TraceCase {
+    /// Builds a pure read trace from line numbers (site 0, streaming).
+    pub fn from_lines(name: &str, sets: usize, ways: usize, lines: &[u64]) -> Self {
+        let metas = lines
+            .iter()
+            .map(|&line| AccessMeta {
+                line,
+                site: SiteId(0),
+                kind: AccessKind::Read,
+                class: RegionClass::Streaming,
+            })
+            .collect();
+        Self::from_metas(name, sets, ways, metas)
+    }
+
+    /// Builds a case from fully specified access metadata.
+    pub fn from_metas(name: &str, sets: usize, ways: usize, metas: Vec<AccessMeta>) -> Self {
+        TraceCase {
+            name: name.to_string(),
+            sets,
+            ways,
+            ops: metas.into_iter().map(DriveOp::Access).collect(),
+        }
+    }
+
+    /// Builds a case from a kernel or stored trace-event stream. Accesses
+    /// become line-granular [`DriveOp::Access`] ops (classified through
+    /// `space` when provided, streaming otherwise); `CurrentVertex`,
+    /// `EpochBoundary` and `IterationBegin` become control ops so
+    /// graph-aware policies see the paper's software interface;
+    /// `Instructions`/`Core` events carry no replacement information and
+    /// are dropped.
+    pub fn from_events(
+        name: &str,
+        sets: usize,
+        ways: usize,
+        events: &[TraceEvent],
+        space: Option<&AddressSpace>,
+    ) -> Self {
+        let ops = events
+            .iter()
+            .filter_map(|ev| match ev {
+                TraceEvent::Access(a) => {
+                    let class = space
+                        .and_then(|s| s.region_of(a.addr))
+                        .map_or(RegionClass::Streaming, |(_, r)| r.class());
+                    Some(DriveOp::Access(AccessMeta {
+                        line: popt_trace::line_of(a.addr),
+                        site: a.site,
+                        kind: a.kind,
+                        class,
+                    }))
+                }
+                TraceEvent::CurrentVertex(v) => {
+                    Some(DriveOp::Control(ControlEvent::CurrentVertex(*v)))
+                }
+                TraceEvent::EpochBoundary => Some(DriveOp::Control(ControlEvent::EpochBoundary)),
+                TraceEvent::IterationBegin => Some(DriveOp::Control(ControlEvent::IterationBegin)),
+                TraceEvent::Instructions(_) | TraceEvent::Core(_) => None,
+            })
+            .collect();
+        TraceCase {
+            name: name.to_string(),
+            sets,
+            ways,
+            ops,
+        }
+    }
+
+    /// The line stream in access order — what the Mattson and MIN models
+    /// consume, and what `Belady::from_trace` is built from.
+    pub fn lines(&self) -> Vec<u64> {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                DriveOp::Access(m) => Some(m.line),
+                DriveOp::Control(_) => None,
+            })
+            .collect()
+    }
+
+    /// Number of demand accesses.
+    pub fn num_accesses(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, DriveOp::Access(_)))
+            .count()
+    }
+
+    /// Whether the case contains no control events (the shrinker and the
+    /// line-level metamorphic transforms require this).
+    pub fn is_pure_accesses(&self) -> bool {
+        self.ops.iter().all(|op| matches!(op, DriveOp::Access(_)))
+    }
+
+    /// Same geometry and name, different line stream (site/kind/class reset
+    /// to the pure-read defaults). Used when replaying shrunk candidates.
+    pub fn with_lines(&self, lines: &[u64]) -> TraceCase {
+        TraceCase::from_lines(&self.name, self.sets, self.ways, lines)
+    }
+
+    /// Same trace against a different associativity.
+    pub fn with_ways(&self, ways: usize) -> TraceCase {
+        TraceCase {
+            ways,
+            ..self.clone()
+        }
+    }
+
+    /// The case truncated to its first `n` demand accesses (control events
+    /// before the cut are kept).
+    pub fn prefix(&self, n: usize) -> TraceCase {
+        let mut ops = Vec::new();
+        let mut accesses = 0;
+        for op in &self.ops {
+            if accesses == n {
+                break;
+            }
+            if matches!(op, DriveOp::Access(_)) {
+                accesses += 1;
+            }
+            ops.push(*op);
+        }
+        TraceCase {
+            name: format!("{}[..{n}]", self.name),
+            sets: self.sets,
+            ways: self.ways,
+            ops,
+        }
+    }
+
+    /// Remaps every access's set index through `perm` (a permutation of
+    /// `0..sets`), keeping the tag bits: `line ↦ (line / sets) * sets +
+    /// perm[line % sets]`. Outcomes of set-symmetric policies must be
+    /// invariant under this transformation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != sets`.
+    pub fn permute_sets(&self, perm: &[usize]) -> TraceCase {
+        assert_eq!(perm.len(), self.sets, "perm must cover every set");
+        let sets = self.sets as u64;
+        let ops = self
+            .ops
+            .iter()
+            .map(|op| match op {
+                DriveOp::Access(m) => {
+                    let mapped = (m.line / sets) * sets + perm[(m.line % sets) as usize] as u64;
+                    DriveOp::Access(AccessMeta { line: mapped, ..*m })
+                }
+                DriveOp::Control(c) => DriveOp::Control(*c),
+            })
+            .collect();
+        TraceCase {
+            name: format!("{}+perm", self.name),
+            sets: self.sets,
+            ways: self.ways,
+            ops,
+        }
+    }
+
+    /// Inserts an immediate repeat after every `stride`-th access. Returns
+    /// the transformed case and, per op, whether it is an inserted
+    /// duplicate. Since the cache probes before consulting the policy,
+    /// every duplicate must hit regardless of policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn with_duplicates(&self, stride: usize) -> (TraceCase, Vec<bool>) {
+        assert!(stride > 0, "stride must be positive");
+        let mut ops = Vec::new();
+        let mut is_dup = Vec::new();
+        let mut accesses = 0usize;
+        for op in &self.ops {
+            ops.push(*op);
+            if let DriveOp::Access(m) = op {
+                is_dup.push(false);
+                accesses += 1;
+                if accesses.is_multiple_of(stride) {
+                    ops.push(DriveOp::Access(*m));
+                    is_dup.push(true);
+                }
+            }
+        }
+        let case = TraceCase {
+            name: format!("{}+dup{stride}", self.name),
+            sets: self.sets,
+            ways: self.ways,
+            ops,
+        };
+        (case, is_dup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_roundtrip_and_prefix() {
+        let c = TraceCase::from_lines("t", 2, 2, &[1, 2, 3, 4]);
+        assert_eq!(c.lines(), vec![1, 2, 3, 4]);
+        assert!(c.is_pure_accesses());
+        let p = c.prefix(2);
+        assert_eq!(p.lines(), vec![1, 2]);
+        assert_eq!(p.num_accesses(), 2);
+    }
+
+    #[test]
+    fn set_permutation_preserves_tags() {
+        let c = TraceCase::from_lines("t", 4, 2, &[0, 5, 10, 15]);
+        // Rotation by one: set s -> s + 1 (mod 4).
+        let p = c.permute_sets(&[1, 2, 3, 0]);
+        assert_eq!(p.lines(), vec![1, 6, 11, 12]);
+    }
+
+    #[test]
+    fn duplicates_are_flagged() {
+        let c = TraceCase::from_lines("t", 1, 2, &[7, 8, 9]);
+        let (d, flags) = c.with_duplicates(2);
+        assert_eq!(d.lines(), vec![7, 8, 8, 9]);
+        assert_eq!(flags, vec![false, false, true, false]);
+    }
+}

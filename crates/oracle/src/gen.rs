@@ -1,0 +1,156 @@
+//! Adversarial synthetic trace generators.
+//!
+//! Each generator targets a known replacement-policy failure mode: scans
+//! flush recency state, thrashing loops sized at ways±1 straddle the
+//! capacity cliff, and mixed streaming/reuse interleavings are the access
+//! shape graph kernels actually produce (regular offsets array + irregular
+//! vertex data). All generators are deterministic in their seed.
+
+use crate::case::TraceCase;
+use popt_sim::AccessMeta;
+use popt_trace::{AccessKind, RegionClass, SiteId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn meta(line: u64, site: u32, write: bool, irregular: bool) -> AccessMeta {
+    AccessMeta {
+        line,
+        site: SiteId(site),
+        kind: if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
+        class: if irregular {
+            RegionClass::Irregular
+        } else {
+            RegionClass::Streaming
+        },
+    }
+}
+
+/// Sequential sweep over `universe` lines, repeated `rounds` times — the
+/// classic scan that defeats LRU and trains scan-resistant policies.
+pub fn scan(sets: usize, ways: usize, universe: u64, rounds: usize) -> TraceCase {
+    let metas = (0..rounds)
+        .flat_map(|_| 0..universe)
+        .map(|l| meta(l, 1, false, false))
+        .collect();
+    TraceCase::from_metas(&format!("scan{universe}x{rounds}"), sets, ways, metas)
+}
+
+/// Cyclic loop over `ways + delta` lines that all map to set 0 — one more
+/// line than fits (`delta = 1`) thrashes LRU to zero hits; one fewer
+/// (`delta = -1`) must hit every access after warmup.
+pub fn thrash(sets: usize, ways: usize, delta: i64, len: usize) -> TraceCase {
+    let loop_lines = (ways as i64 + delta).max(1) as u64;
+    let metas = (0..len)
+        .map(|i| meta((i as u64 % loop_lines) * sets as u64, 2, false, true))
+        .collect();
+    TraceCase::from_metas(
+        &format!("thrash{}{}", if delta >= 0 { "+" } else { "" }, delta),
+        sets,
+        ways,
+        metas,
+    )
+}
+
+/// Graph-kernel-shaped mix: a streaming sweep (distinct lines, one pass)
+/// interleaved with skewed irregular reuse over a hot vertex region, with
+/// occasional writes. Sites separate the streams the way distinct loads in
+/// a loop nest would.
+pub fn mixed(sets: usize, ways: usize, seed: u64, len: usize) -> TraceCase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hot = (sets * ways) as u64 / 2 + 1;
+    let cold = (sets * ways) as u64 * 8;
+    let mut stream_next = 1_000_000u64;
+    let metas = (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.4) {
+                // Streaming: fresh line, never revisited.
+                stream_next += 1;
+                meta(stream_next, 3, false, false)
+            } else if rng.gen_bool(0.75) {
+                // Hot irregular reuse, skewed toward low lines.
+                let a = rng.gen_range(0..hot);
+                let b = rng.gen_range(0..hot);
+                meta(a.min(b), 4, rng.gen_bool(0.3), true)
+            } else {
+                // Cold irregular tail.
+                meta(rng.gen_range(0..cold), 5, false, true)
+            }
+        })
+        .collect();
+    TraceCase::from_metas(&format!("mixed/s{seed}"), sets, ways, metas)
+}
+
+/// Uniform random lines over `universe`, random sites and kinds — the
+/// unstructured baseline fuzz case.
+pub fn random_trace(sets: usize, ways: usize, seed: u64, universe: u64, len: usize) -> TraceCase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let metas = (0..len)
+        .map(|_| {
+            meta(
+                rng.gen_range(0..universe),
+                rng.gen_range(0u32..8),
+                rng.gen_bool(0.25),
+                rng.gen_bool(0.5),
+            )
+        })
+        .collect();
+    TraceCase::from_metas(&format!("rand{universe}/s{seed}"), sets, ways, metas)
+}
+
+/// The standard adversarial batch for one geometry and seed: scans sized
+/// at and beyond capacity, thrash loops at ways±1, two graph-shaped mixes,
+/// and dense/sparse random traces.
+pub fn adversarial_cases(sets: usize, ways: usize, seed: u64) -> Vec<TraceCase> {
+    let capacity = (sets * ways) as u64;
+    vec![
+        scan(sets, ways, capacity * 2, 3),
+        scan(sets, ways, capacity.max(2) - 1, 4),
+        thrash(sets, ways, 1, 40 * ways),
+        thrash(sets, ways, -1, 40 * ways),
+        mixed(sets, ways, seed, 60 * sets * ways),
+        mixed(sets, ways, seed ^ 0xDEAD_BEEF, 60 * sets * ways),
+        random_trace(sets, ways, seed, capacity / 2 + 2, 50 * sets * ways),
+        random_trace(sets, ways, seed, capacity * 4, 50 * sets * ways),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_in_seed() {
+        assert_eq!(mixed(2, 4, 9, 500), mixed(2, 4, 9, 500));
+        assert_ne!(mixed(2, 4, 9, 500), mixed(2, 4, 10, 500));
+        assert_eq!(
+            random_trace(2, 4, 1, 64, 200),
+            random_trace(2, 4, 1, 64, 200)
+        );
+    }
+
+    #[test]
+    fn thrash_lines_stay_in_one_set() {
+        let case = thrash(4, 4, 1, 100);
+        assert!(case.lines().iter().all(|l| l % 4 == 0));
+        // ways + 1 distinct lines.
+        let mut distinct = case.lines();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 5);
+    }
+
+    #[test]
+    fn adversarial_batch_has_distinct_names() {
+        let cases = adversarial_cases(2, 4, 7);
+        let mut names: Vec<&str> = cases.iter().map(|c| c.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "case names must be unique");
+        assert!(cases.iter().all(|c| c.num_accesses() > 0));
+    }
+}

@@ -1,0 +1,246 @@
+//! Driving cases through `popt-sim` and diffing against the reference
+//! models.
+
+use crate::belady::{min_misses, simulate_min};
+use crate::case::{DriveOp, TraceCase};
+use crate::mattson::Mattson;
+use crate::shrink;
+use crate::zoo::NamedPolicy;
+use popt_sim::{CacheConfig, CacheStats, ReplacementPolicy, SetAssocCache};
+
+/// Result of one policy run over one case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// Per-access hit/miss in access order (`true` = hit).
+    pub outcomes: Vec<bool>,
+    /// Demand misses.
+    pub misses: u64,
+    /// Full simulator statistics.
+    pub stats: CacheStats,
+}
+
+/// Runs `case` through a single-level `SetAssocCache` under `policy`.
+pub fn run_case(case: &TraceCase, policy: Box<dyn ReplacementPolicy>) -> RunResult {
+    let cfg = CacheConfig::new(64 * case.sets * case.ways, case.ways);
+    debug_assert_eq!(cfg.num_sets(), case.sets);
+    let mut cache = SetAssocCache::new(cfg, policy);
+    let mut outcomes = Vec::with_capacity(case.ops.len());
+    for op in &case.ops {
+        match op {
+            DriveOp::Access(meta) => outcomes.push(cache.access(meta).is_hit()),
+            DriveOp::Control(event) => cache.control(event),
+        }
+    }
+    RunResult {
+        outcomes,
+        misses: cache.stats().misses,
+        stats: *cache.stats(),
+    }
+}
+
+/// One oracle disagreement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant broke (stable identifier, e.g. `belady-bound`).
+    pub check: String,
+    /// The offending policy.
+    pub policy: String,
+    /// The case it broke on.
+    pub case_name: String,
+    /// Human-readable explanation with the disagreeing numbers.
+    pub detail: String,
+    /// Minimized pure-line witness, when the case was shrinkable.
+    pub minimized: Option<Vec<u64>>,
+}
+
+impl Violation {
+    fn new(check: &str, policy: &str, case: &TraceCase, detail: String) -> Self {
+        Violation {
+            check: check.to_string(),
+            policy: policy.to_string(),
+            case_name: case.name.clone(),
+            detail,
+            minimized: None,
+        }
+    }
+}
+
+/// Index of the first position where two outcome sequences disagree,
+/// rendered for a violation report.
+fn first_divergence(a: &[bool], b: &[bool]) -> String {
+    if a.len() != b.len() {
+        return format!("length mismatch: {} vs {}", a.len(), b.len());
+    }
+    match a.iter().zip(b).position(|(x, y)| x != y) {
+        Some(i) => format!(
+            "first divergence at access {i}: simulator={} oracle={}",
+            if a[i] { "hit" } else { "miss" },
+            if b[i] { "hit" } else { "miss" },
+        ),
+        None => "sequences agree".to_string(),
+    }
+}
+
+/// No policy may beat Belady's minimum miss count. On violation, a
+/// delta-debugging pass shrinks pure-access cases to a minimal witness.
+pub fn check_belady_bound(case: &TraceCase, policies: &[NamedPolicy]) -> Vec<Violation> {
+    let lines = case.lines();
+    let optimal = min_misses(case.sets, case.ways, &lines);
+    let mut violations = Vec::new();
+    for p in policies {
+        let got = run_case(case, p.build(case)).misses;
+        if got < optimal {
+            let mut v = Violation::new(
+                "belady-bound",
+                &p.name,
+                case,
+                format!("policy made {got} misses, below the optimal {optimal}"),
+            );
+            if case.is_pure_accesses() {
+                v.minimized = Some(shrink::minimize_lines(&lines, |cand| {
+                    let c = case.with_lines(cand);
+                    run_case(&c, p.build(&c)).misses < min_misses(c.sets, c.ways, cand)
+                }));
+            }
+            violations.push(v);
+        }
+    }
+    violations
+}
+
+/// `policies/belady.rs`, run through the full simulator plumbing, must
+/// reproduce the independent MIN model access-for-access. (MIN's outcome
+/// sequence is unique: victim ties only arise between never-reused lines,
+/// which are outcome-equivalent.)
+pub fn check_belady_exact(case: &TraceCase) -> Vec<Violation> {
+    let lines = case.lines();
+    let reference = simulate_min(case.sets, case.ways, &lines);
+    let belady = NamedPolicy::belady();
+    let got = run_case(case, belady.build(case));
+    if got.outcomes == reference.outcomes {
+        return Vec::new();
+    }
+    let mut v = Violation::new(
+        "belady-exact",
+        "OPT",
+        case,
+        format!(
+            "simulator OPT made {} misses vs reference {}; {}",
+            got.misses,
+            reference.misses,
+            first_divergence(&got.outcomes, &reference.outcomes)
+        ),
+    );
+    if case.is_pure_accesses() {
+        v.minimized = Some(shrink::minimize_lines(&lines, |cand| {
+            let c = case.with_lines(cand);
+            let b = NamedPolicy::belady();
+            run_case(&c, b.build(&c)).outcomes != simulate_min(c.sets, c.ways, cand).outcomes
+        }));
+    }
+    vec![v]
+}
+
+/// `policies/lru.rs` must reproduce the Mattson stack model
+/// access-for-access at the case's associativity.
+pub fn check_mattson_exact(case: &TraceCase) -> Vec<Violation> {
+    let lines = case.lines();
+    let model = Mattson::run(case.sets, &lines);
+    let lru = NamedPolicy::kind(popt_sim::PolicyKind::Lru);
+    let got = run_case(case, lru.build(case));
+    let predicted = model.outcomes_with_ways(case.ways);
+    if got.outcomes == predicted {
+        return Vec::new();
+    }
+    let mut v = Violation::new(
+        "mattson-exact",
+        "LRU",
+        case,
+        format!(
+            "simulator LRU made {} misses vs Mattson {}; {}",
+            got.misses,
+            model.misses_with_ways(case.ways),
+            first_divergence(&got.outcomes, &predicted)
+        ),
+    );
+    if case.is_pure_accesses() {
+        v.minimized = Some(shrink::minimize_lines(&lines, |cand| {
+            let c = case.with_lines(cand);
+            let p = NamedPolicy::kind(popt_sim::PolicyKind::Lru);
+            run_case(&c, p.build(&c)).outcomes
+                != Mattson::run(c.sets, cand).outcomes_with_ways(c.ways)
+        }));
+    }
+    vec![v]
+}
+
+/// Associativities checked by the stack-inclusion sweep.
+const INCLUSION_WAYS: [usize; 4] = [2, 4, 8, 16];
+
+/// LRU's inclusion property: hits must be monotone non-decreasing across
+/// 2/4/8/16 ways, and at every width the simulated LRU must agree with the
+/// Mattson prediction.
+pub fn check_stack_inclusion(case: &TraceCase) -> Vec<Violation> {
+    let lines = case.lines();
+    let model = Mattson::run(case.sets, &lines);
+    let mut violations = Vec::new();
+    let mut prev = 0u64;
+    for ways in INCLUSION_WAYS {
+        let widened = case.with_ways(ways);
+        let lru = NamedPolicy::kind(popt_sim::PolicyKind::Lru);
+        let hits = run_case(&widened, lru.build(&widened)).stats.hits;
+        let predicted = model.hits_with_ways(ways);
+        if hits != predicted {
+            violations.push(Violation::new(
+                "stack-inclusion",
+                "LRU",
+                case,
+                format!("{ways}-way LRU hit {hits} times; Mattson predicts {predicted}"),
+            ));
+        }
+        if hits < prev {
+            violations.push(Violation::new(
+                "stack-inclusion",
+                "LRU",
+                case,
+                format!("{ways}-way LRU hits {hits} fell below the narrower cache's {prev}"),
+            ));
+        }
+        prev = hits;
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_case_counts_match_stats() {
+        let case = TraceCase::from_lines("t", 2, 2, &[0, 1, 2, 0, 1, 2]);
+        let lru = NamedPolicy::kind(popt_sim::PolicyKind::Lru);
+        let r = run_case(&case, lru.build(&case));
+        assert_eq!(r.outcomes.len(), 6);
+        assert_eq!(r.outcomes.iter().filter(|&&h| !h).count() as u64, r.misses);
+        assert_eq!(r.stats.hits + r.stats.misses, 6);
+    }
+
+    #[test]
+    fn clean_zoo_produces_no_violations_on_a_small_case() {
+        let lines: Vec<u64> = (0..200u64).map(|i| (i * 3 + i / 5) % 17).collect();
+        let case = TraceCase::from_lines("clean", 2, 4, &lines);
+        assert_eq!(check_belady_bound(&case, &NamedPolicy::zoo()), vec![]);
+        assert_eq!(check_belady_exact(&case), vec![]);
+        assert_eq!(check_mattson_exact(&case), vec![]);
+        assert_eq!(check_stack_inclusion(&case), vec![]);
+    }
+
+    #[test]
+    fn first_divergence_pinpoints_the_index() {
+        let a = [true, true, false];
+        let b = [true, false, false];
+        assert!(first_divergence(&a, &b).contains("access 1"));
+        assert!(first_divergence(&a, &a).contains("agree"));
+        assert!(first_divergence(&a, &b[..2]).contains("length"));
+    }
+}

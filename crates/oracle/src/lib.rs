@@ -1,0 +1,59 @@
+//! Differential-testing oracles for the replacement-policy zoo.
+//!
+//! P-OPT's results are miss counts, so every number the experiments print
+//! is only as trustworthy as `popt-sim`'s hit/miss accounting and victim
+//! selection. This crate cross-checks the simulator against independently
+//! implemented reference models:
+//!
+//! * [`Mattson`] — the classic stack-distance model. One pass over a trace
+//!   predicts true-LRU hits for *every* associativity at once, which both
+//!   pins `policies/lru.rs` exactly and verifies the LRU inclusion (stack)
+//!   property across 2/4/8/16 ways.
+//! * [`simulate_min`] — an O(n·ways) forward-scan Belady/MIN simulator
+//!   built only on the line stream, never on `popt-sim`'s policy plumbing.
+//!   No replacement policy may ever beat its miss count, and
+//!   `policies/belady.rs` must match it access-for-access.
+//! * [`metamorphic`] — trace transformations with known-equal or
+//!   known-ordered outcomes: prefix closure for online policies,
+//!   duplicate-access idempotence, and set-permutation invariance for
+//!   set-symmetric policies.
+//! * [`gen`] — adversarial synthetic traces (scans, thrashing loops at
+//!   ways±1, mixed streaming/reuse) and [`shrink`] — a greedy delta-debug
+//!   minimizer that turns any violation into a small regression witness.
+//!
+//! Violations are collected into an [`OracleReport`] whose rendering is
+//! deterministic, so CI diffs and the `experiments oracle` verb produce
+//! stable output.
+//!
+//! # Example
+//!
+//! ```
+//! use popt_oracle::{gen, NamedPolicy, OracleReport};
+//!
+//! let mut report = OracleReport::new();
+//! for case in gen::adversarial_cases(4, 4, 0x5eed) {
+//!     report.check_case(&case, &NamedPolicy::zoo());
+//! }
+//! assert!(report.ok(), "{}", report.render());
+//! ```
+
+mod belady;
+mod case;
+mod harness;
+mod mattson;
+mod report;
+mod zoo;
+
+pub mod gen;
+pub mod metamorphic;
+pub mod shrink;
+
+pub use belady::{min_misses, simulate_min, MinResult};
+pub use case::{DriveOp, TraceCase};
+pub use harness::{
+    check_belady_bound, check_belady_exact, check_mattson_exact, check_stack_inclusion, run_case,
+    RunResult, Violation,
+};
+pub use mattson::Mattson;
+pub use report::OracleReport;
+pub use zoo::{graph_aware_policies, NamedPolicy};

@@ -1,0 +1,165 @@
+//! Mattson's stack-distance algorithm (Mattson et al., 1970).
+//!
+//! True LRU is a *stack algorithm*: at any instant the lines of a set can
+//! be arranged in a recency stack such that a cache of associativity `w`
+//! holds exactly the top `w` entries. One pass recording each access's
+//! stack depth therefore predicts hit counts for every associativity
+//! simultaneously, and those counts are automatically monotone in `w` —
+//! the inclusion property. Both facts make the model a strong differential
+//! oracle for `popt-sim`'s LRU: the per-access outcomes must match the
+//! simulator exactly, for every geometry, without sharing a line of code
+//! with it.
+
+/// Stack-distance model over a set-indexed trace (`set = line % sets`,
+/// matching `SetAssocCache`'s placement rule).
+#[derive(Debug, Clone)]
+pub struct Mattson {
+    sets: usize,
+    /// Per-set recency stacks, most recent first.
+    stacks: Vec<Vec<u64>>,
+    /// `histogram[d]` = number of accesses with stack distance `d`.
+    histogram: Vec<u64>,
+    /// First-touch (infinite-distance) accesses.
+    cold: u64,
+    /// Per access, in trace order: the stack distance (`None` = cold).
+    distances: Vec<Option<usize>>,
+}
+
+impl Mattson {
+    /// Creates an empty model for a cache of `sets` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets == 0`.
+    pub fn new(sets: usize) -> Self {
+        assert!(sets > 0, "a cache needs at least one set");
+        Mattson {
+            sets,
+            stacks: vec![Vec::new(); sets],
+            histogram: Vec::new(),
+            cold: 0,
+            distances: Vec::new(),
+        }
+    }
+
+    /// Convenience: runs a whole line trace through a fresh model.
+    pub fn run(sets: usize, lines: &[u64]) -> Self {
+        let mut m = Mattson::new(sets);
+        for &line in lines {
+            m.access(line);
+        }
+        m
+    }
+
+    /// Processes one access; returns its stack distance (`None` = cold).
+    pub fn access(&mut self, line: u64) -> Option<usize> {
+        let set = (line % self.sets as u64) as usize;
+        let stack = &mut self.stacks[set];
+        let depth = stack.iter().position(|&l| l == line);
+        match depth {
+            Some(d) => {
+                stack.remove(d);
+                stack.insert(0, line);
+                if self.histogram.len() <= d {
+                    self.histogram.resize(d + 1, 0);
+                }
+                self.histogram[d] += 1;
+            }
+            None => {
+                stack.insert(0, line);
+                self.cold += 1;
+            }
+        }
+        self.distances.push(depth);
+        depth
+    }
+
+    /// Total accesses seen.
+    pub fn total(&self) -> u64 {
+        self.distances.len() as u64
+    }
+
+    /// First-touch accesses (misses at any associativity).
+    pub fn cold_misses(&self) -> u64 {
+        self.cold
+    }
+
+    /// Predicted LRU hits for a `ways`-associative cache: accesses whose
+    /// stack distance is below `ways`. Monotone non-decreasing in `ways`
+    /// by construction (the inclusion property).
+    pub fn hits_with_ways(&self, ways: usize) -> u64 {
+        self.histogram.iter().take(ways).sum()
+    }
+
+    /// Predicted LRU misses for a `ways`-associative cache.
+    pub fn misses_with_ways(&self, ways: usize) -> u64 {
+        self.total() - self.hits_with_ways(ways)
+    }
+
+    /// Predicted per-access hit/miss outcomes at associativity `ways`,
+    /// in trace order.
+    pub fn outcomes_with_ways(&self, ways: usize) -> Vec<bool> {
+        self.distances
+            .iter()
+            .map(|d| matches!(d, Some(depth) if *depth < ways))
+            .collect()
+    }
+
+    /// Per-access stack distances in trace order (`None` = cold).
+    pub fn distances(&self) -> &[Option<usize>] {
+        &self.distances
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_on_a_simple_reuse_pattern() {
+        // 1 set. Trace: a b a b c a — distances: ∞ ∞ 1 1 ∞ 2.
+        let m = Mattson::run(1, &[10, 20, 10, 20, 30, 10]);
+        assert_eq!(
+            m.distances(),
+            &[None, None, Some(1), Some(1), None, Some(2)]
+        );
+        assert_eq!(m.cold_misses(), 3);
+        assert_eq!(m.hits_with_ways(1), 0);
+        assert_eq!(m.hits_with_ways(2), 2);
+        assert_eq!(m.hits_with_ways(3), 3);
+    }
+
+    #[test]
+    fn hits_are_monotone_in_ways() {
+        let lines: Vec<u64> = (0..500u64).map(|i| (i * 7 + i / 3) % 40).collect();
+        let m = Mattson::run(4, &lines);
+        let mut prev = 0;
+        for ways in 1..=20 {
+            let h = m.hits_with_ways(ways);
+            assert!(h >= prev, "{ways}-way hits {h} < {prev}");
+            prev = h;
+        }
+        assert_eq!(m.total(), 500);
+    }
+
+    #[test]
+    fn sets_partition_the_stack() {
+        // Lines 0 and 2 share set 0 of a 2-set cache; line 1 is set 1 and
+        // must not disturb their recency.
+        let m = Mattson::run(2, &[0, 1, 2, 1, 0]);
+        // Access 4 (line 0): set-0 stack was [2, 0] -> distance 1.
+        assert_eq!(m.distances()[4], Some(1));
+        // Access 3 (line 1): set-1 stack was [1] -> distance 0.
+        assert_eq!(m.distances()[3], Some(0));
+    }
+
+    #[test]
+    fn outcomes_match_histogram_totals() {
+        let lines: Vec<u64> = (0..300u64).map(|i| i % 23).collect();
+        let m = Mattson::run(2, &lines);
+        for ways in [1usize, 2, 4, 8, 16] {
+            let from_outcomes = m.outcomes_with_ways(ways).iter().filter(|&&h| h).count() as u64;
+            assert_eq!(from_outcomes, m.hits_with_ways(ways));
+        }
+    }
+}

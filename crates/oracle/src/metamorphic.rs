@@ -1,0 +1,152 @@
+//! Metamorphic checks: trace transformations with provable outcome
+//! relations.
+//!
+//! Unlike the differential checks, these need no reference model — the
+//! simulator is compared against itself under transformations whose effect
+//! is known a priori:
+//!
+//! * **Prefix closure.** An online policy's decisions depend only on the
+//!   past, so rerunning a prefix from scratch must reproduce the full
+//!   run's first outcomes exactly. (Belady is exempt: its lookahead
+//!   changes with the horizon.)
+//! * **Duplicate-access idempotence.** The cache probes the set before
+//!   consulting the policy, so an access immediately repeated must hit —
+//!   for every policy, including the oracles.
+//! * **Set-permutation invariance.** Relabeling set indices (keeping
+//!   tags) must not change any outcome for policies that treat sets
+//!   uniformly.
+
+use crate::case::TraceCase;
+use crate::harness::{run_case, Violation};
+use crate::zoo::NamedPolicy;
+
+fn violation(check: &str, p: &NamedPolicy, case: &TraceCase, detail: String) -> Violation {
+    Violation {
+        check: check.to_string(),
+        policy: p.name.clone(),
+        case_name: case.name.clone(),
+        detail,
+        minimized: None,
+    }
+}
+
+/// Prefix closure for online policies: outcomes of a fresh run over the
+/// first `n` accesses equal the first `n` outcomes of the full run.
+/// Checked at 1/4, 1/2 and 3/4 of the trace.
+pub fn check_prefix_closure(case: &TraceCase, policies: &[NamedPolicy]) -> Vec<Violation> {
+    let n = case.num_accesses();
+    if n < 4 {
+        return Vec::new();
+    }
+    let mut violations = Vec::new();
+    for p in policies.iter().filter(|p| p.online) {
+        let full = run_case(case, p.build(case));
+        for cut in [n / 4, n / 2, 3 * n / 4] {
+            let prefix = case.prefix(cut);
+            // Configure the policy from the *full* case (GRASP's region
+            // boundaries depend on the line universe); only the drive is
+            // truncated.
+            let partial = run_case(&prefix, p.build(case));
+            if partial.outcomes != full.outcomes[..cut] {
+                let diverged = partial
+                    .outcomes
+                    .iter()
+                    .zip(&full.outcomes[..cut])
+                    .position(|(a, b)| a != b);
+                violations.push(violation(
+                    "prefix-closure",
+                    p,
+                    case,
+                    format!(
+                        "rerun of the first {cut} accesses diverged from the full run at {diverged:?}"
+                    ),
+                ));
+            }
+        }
+    }
+    violations
+}
+
+/// Duplicate-access idempotence: an access repeated back-to-back hits,
+/// regardless of policy (the probe precedes every policy decision).
+pub fn check_duplicate_hits(case: &TraceCase, policies: &[NamedPolicy]) -> Vec<Violation> {
+    if case.num_accesses() == 0 {
+        return Vec::new();
+    }
+    let (dup_case, is_dup) = case.with_duplicates(3);
+    let mut violations = Vec::new();
+    for p in policies {
+        let run = run_case(&dup_case, p.build(&dup_case));
+        // `is_dup` flags accesses only; outcomes are per access too.
+        let missed_dup = run
+            .outcomes
+            .iter()
+            .zip(&is_dup)
+            .position(|(&hit, &dup)| dup && !hit);
+        if let Some(i) = missed_dup {
+            violations.push(violation(
+                "duplicate-hit",
+                p,
+                case,
+                format!("immediately repeated access {i} missed"),
+            ));
+        }
+    }
+    violations
+}
+
+/// Set-permutation invariance for set-symmetric policies: rotating the set
+/// index (keeping tag bits) changes no outcome.
+pub fn check_set_permutation(case: &TraceCase, policies: &[NamedPolicy]) -> Vec<Violation> {
+    if case.sets < 2 {
+        return Vec::new();
+    }
+    // Rotation by one — a derangement, so every access changes sets.
+    let perm: Vec<usize> = (0..case.sets).map(|s| (s + 1) % case.sets).collect();
+    let permuted = case.permute_sets(&perm);
+    let mut violations = Vec::new();
+    for p in policies.iter().filter(|p| p.set_symmetric) {
+        let original = run_case(case, p.build(case));
+        let rotated = run_case(&permuted, p.build(&permuted));
+        if original.outcomes != rotated.outcomes {
+            let diverged = original
+                .outcomes
+                .iter()
+                .zip(&rotated.outcomes)
+                .position(|(a, b)| a != b);
+            violations.push(violation(
+                "set-permutation",
+                p,
+                case,
+                format!("outcomes changed under set rotation, first at {diverged:?}"),
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn clean_policies_pass_all_metamorphic_checks() {
+        let zoo = NamedPolicy::zoo();
+        for case in [
+            gen::random_trace(4, 4, 11, 40, 600),
+            gen::mixed(2, 4, 5, 400),
+        ] {
+            assert_eq!(check_prefix_closure(&case, &zoo), vec![]);
+            assert_eq!(check_duplicate_hits(&case, &zoo), vec![]);
+            assert_eq!(check_set_permutation(&case, &zoo), vec![]);
+        }
+    }
+
+    #[test]
+    fn short_and_single_set_cases_are_skipped_gracefully() {
+        let tiny = TraceCase::from_lines("tiny", 1, 2, &[1, 2]);
+        assert_eq!(check_prefix_closure(&tiny, &NamedPolicy::zoo()), vec![]);
+        assert_eq!(check_set_permutation(&tiny, &NamedPolicy::zoo()), vec![]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Aggregation and deterministic rendering of oracle results.
+
+use crate::case::TraceCase;
+use crate::harness::{
+    check_belady_bound, check_belady_exact, check_mattson_exact, check_stack_inclusion, Violation,
+};
+use crate::metamorphic::{check_duplicate_hits, check_prefix_closure, check_set_permutation};
+use crate::zoo::NamedPolicy;
+
+/// Accumulated result of an oracle run. Rendering is deterministic:
+/// violations sort by (case, check, policy), so equal inputs produce
+/// byte-equal reports.
+#[derive(Debug, Default)]
+pub struct OracleReport {
+    /// Case names, in check order.
+    pub cases: Vec<String>,
+    /// Union of policy names checked.
+    pub policies: Vec<String>,
+    /// Individual invariant evaluations performed.
+    pub checks_run: u64,
+    /// Every disagreement found.
+    pub violations: Vec<Violation>,
+}
+
+impl OracleReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs the full check battery — Belady bound, Belady exactness,
+    /// Mattson exactness, stack inclusion, and the three metamorphic
+    /// suites — for one case, accumulating violations.
+    pub fn check_case(&mut self, case: &TraceCase, policies: &[NamedPolicy]) {
+        self.cases.push(case.name.clone());
+        for p in policies {
+            if !self.policies.iter().any(|n| n == &p.name) {
+                self.policies.push(p.name.clone());
+            }
+        }
+        // One evaluation per (policy, bound) + the LRU/OPT exactness and
+        // inclusion sweeps + the metamorphic battery.
+        self.checks_run += policies.len() as u64 + 3;
+        self.violations.extend(check_belady_bound(case, policies));
+        self.violations.extend(check_belady_exact(case));
+        self.violations.extend(check_mattson_exact(case));
+        self.violations.extend(check_stack_inclusion(case));
+        self.checks_run += 3;
+        self.violations.extend(check_prefix_closure(case, policies));
+        self.violations.extend(check_duplicate_hits(case, policies));
+        self.violations
+            .extend(check_set_permutation(case, policies));
+    }
+
+    /// Whether every invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the report. Output is stable across runs and platforms:
+    /// cases keep insertion order, violations are sorted.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "oracle: {} cases, {} policies, {} checks\n",
+            self.cases.len(),
+            self.policies.len(),
+            self.checks_run
+        ));
+        let mut sorted: Vec<&Violation> = self.violations.iter().collect();
+        sorted.sort_by(|a, b| {
+            (&a.case_name, &a.check, &a.policy).cmp(&(&b.case_name, &b.check, &b.policy))
+        });
+        if sorted.is_empty() {
+            out.push_str("result: PASS — every invariant held\n");
+            return out;
+        }
+        out.push_str(&format!("result: FAIL — {} violation(s)\n", sorted.len()));
+        for v in sorted {
+            out.push_str(&format!(
+                "  [{}] {} on {}: {}\n",
+                v.check, v.policy, v.case_name, v.detail
+            ));
+            if let Some(w) = &v.minimized {
+                out.push_str(&format!(
+                    "    minimized witness ({} lines): {w:?}\n",
+                    w.len()
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn passing_report_renders_pass_deterministically() {
+        let run = || {
+            let mut r = OracleReport::new();
+            r.check_case(&gen::random_trace(2, 2, 3, 12, 300), &NamedPolicy::zoo());
+            r.render()
+        };
+        let a = run();
+        assert!(a.contains("PASS"), "{a}");
+        assert_eq!(a, run());
+    }
+
+    #[test]
+    fn violations_sort_in_render() {
+        let mut r = OracleReport::new();
+        let mk = |case: &str, check: &str| Violation {
+            check: check.to_string(),
+            policy: "P".to_string(),
+            case_name: case.to_string(),
+            detail: "d".to_string(),
+            minimized: Some(vec![1, 2]),
+        };
+        r.violations.push(mk("zz", "b-check"));
+        r.violations.push(mk("aa", "a-check"));
+        let text = r.render();
+        let first = text.find("aa").unwrap();
+        let second = text.find("zz").unwrap();
+        assert!(first < second, "{text}");
+        assert!(text.contains("FAIL — 2 violation(s)"));
+        assert!(text.contains("minimized witness (2 lines)"));
+    }
+}

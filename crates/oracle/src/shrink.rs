@@ -1,0 +1,100 @@
+//! Greedy delta-debugging minimizer for line traces.
+//!
+//! The vendored `proptest` shim is deterministic but does not shrink, so
+//! the harness carries its own minimizer: given a failing line trace and a
+//! predicate that recognizes the failure, remove ever-smaller chunks while
+//! the failure persists. The result is the witness that goes into a
+//! violation report and, once fixed, into a regression test.
+
+/// Upper bound on predicate evaluations per minimization, so a slow
+/// predicate on a long trace cannot stall the suite.
+const MAX_PROBES: usize = 4000;
+
+/// Minimizes `lines` while `fails` keeps returning `true`.
+///
+/// `fails(&lines)` must be `true` on entry (the unshrunk witness must
+/// fail); the returned trace also satisfies `fails`. Deterministic: equal
+/// inputs give equal witnesses.
+///
+/// # Panics
+///
+/// Panics if the initial trace does not fail.
+pub fn minimize_lines(lines: &[u64], mut fails: impl FnMut(&[u64]) -> bool) -> Vec<u64> {
+    assert!(fails(lines), "minimize_lines needs a failing input");
+    let mut current = lines.to_vec();
+    let mut probes = 0usize;
+    let mut chunk = (current.len() / 2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < current.len() {
+            if probes >= MAX_PROBES {
+                return current;
+            }
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            probes += 1;
+            if !candidate.is_empty() && fails(&candidate) {
+                current = candidate;
+                removed_any = true;
+                // Retry the same start: the next chunk slid into place.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            if !removed_any {
+                return current;
+            }
+            // One more single-element sweep may unlock further removals.
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_essential_pair() {
+        // Failure: the trace contains both a 7 and a 9.
+        let lines: Vec<u64> = (0..100).collect();
+        let min = minimize_lines(&lines, |c| c.contains(&7) && c.contains(&9));
+        assert_eq!(min, vec![7, 9]);
+    }
+
+    #[test]
+    fn preserves_order_of_kept_elements() {
+        let lines = vec![3u64, 1, 4, 1, 5, 9, 2, 6];
+        let min = minimize_lines(&lines, |c| {
+            let a = c.iter().position(|&x| x == 9);
+            let b = c.iter().position(|&x| x == 2);
+            matches!((a, b), (Some(i), Some(j)) if i < j)
+        });
+        assert_eq!(min, vec![9, 2]);
+    }
+
+    #[test]
+    fn single_element_failures_shrink_to_one() {
+        let lines: Vec<u64> = (0..64).collect();
+        let min = minimize_lines(&lines, |c| c.iter().any(|&x| x == 42));
+        assert_eq!(min, vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "failing input")]
+    fn rejects_passing_inputs() {
+        let _ = minimize_lines(&[1, 2, 3], |_| false);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let lines: Vec<u64> = (0..200).map(|i| i % 13).collect();
+        let f = |c: &[u64]| c.iter().filter(|&&x| x == 5).count() >= 3;
+        assert_eq!(minimize_lines(&lines, f), minimize_lines(&lines, f));
+    }
+}

@@ -248,6 +248,14 @@ impl SetAssocCache {
                     incoming: meta,
                 };
                 let w = self.policy.victim(&ctx);
+                // Same contract as the demand path: an out-of-range victim
+                // would silently overwrite a reserved way (or another set's
+                // line) here, with no stats trail to catch it.
+                assert!(
+                    w < self.data_ways,
+                    "policy {} chose way {w} beyond data ways",
+                    self.policy.name()
+                );
                 let i = base + w;
                 self.policy.on_evict(set, w, self.global[i]);
                 self.stats.evictions += 1;
@@ -434,6 +442,46 @@ mod tests {
         c.invalidate_all();
         assert_eq!(c.stats().writebacks, 1);
         assert!(!c.contains(1) && !c.contains(2));
+    }
+
+    /// A policy that violates the victim contract by indexing past
+    /// `ctx.ways` — stands in for a buggy way-partitioning policy that
+    /// forgets reserved ways are already excluded.
+    struct RogueVictim;
+
+    impl crate::ReplacementPolicy for RogueVictim {
+        fn name(&self) -> String {
+            "rogue".to_string()
+        }
+        fn on_hit(&mut self, _set: usize, _way: usize, _meta: &AccessMeta) {}
+        fn on_fill(&mut self, _set: usize, _way: usize, _meta: &AccessMeta) {}
+        fn victim(&mut self, ctx: &crate::VictimCtx<'_>) -> usize {
+            ctx.ways.len() // one past the last replaceable way
+        }
+    }
+
+    fn full_rogue_cache() -> SetAssocCache {
+        let cfg = CacheConfig::new(64 * 2, 2);
+        let mut c = SetAssocCache::new(cfg, Box::new(RogueVictim));
+        c.access(&meta(1));
+        c.access(&meta(2)); // set is now full; the next fill needs a victim
+        c
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond data ways")]
+    fn out_of_range_victim_panics_on_demand_fill() {
+        full_rogue_cache().access(&meta(3));
+    }
+
+    /// Regression: the prefetch fill path used to index `base + w` without
+    /// the range check the demand path has, so an out-of-range victim
+    /// silently overwrote a neighboring set's line (or a reserved way)
+    /// instead of panicking.
+    #[test]
+    #[should_panic(expected = "beyond data ways")]
+    fn out_of_range_victim_panics_on_prefetch_fill() {
+        full_rogue_cache().prefetch_placed(&meta(3), 3);
     }
 
     #[test]

@@ -69,6 +69,17 @@ impl Leeway {
     }
 
     /// A block's age in set accesses since its last touch.
+    ///
+    /// `last_touch` is only ever written by [`touch`](Self::touch), which
+    /// copies the current `set_clock` — a `u64` counter that increments
+    /// once per demand lookup and therefore never wraps in any feasible
+    /// run. That holds on the prefetch path too: a fill without a
+    /// preceding `on_access` stamps the *current* clock, so
+    /// `last_touch <= set_clock` is an invariant and the subtraction
+    /// cannot underflow. The saturating form is defensive only — if the
+    /// invariant were ever broken, an inverted clock reads as age 0 (a
+    /// freshly touched block) rather than wrapping to ~2^64, which would
+    /// make the block the unconditional victim of every decision.
     fn age(&self, set: usize, way: usize) -> u64 {
         self.set_clock[set].saturating_sub(self.last_touch[set * self.ways + way])
     }
@@ -169,6 +180,32 @@ mod tests {
             .iter()
             .filter(|&&(l, s)| cache.access(&read_site(l, s)).is_hit())
             .count() as u64
+    }
+
+    #[test]
+    fn ages_never_invert_even_on_prefetch_shaped_fills() {
+        // Regression for the set-clock audit: `age` must hold
+        // `last_touch <= set_clock` on every path, including a fill with no
+        // preceding `on_access` (the prefetch shape). An inversion hidden
+        // by `saturating_sub` would read as a bogus age.
+        let mut p = Leeway::new(1, 2);
+        let demand = read_site(1, 1);
+        p.on_access(0, &demand);
+        p.on_fill(0, 0, &demand);
+        assert_eq!(p.age(0, 0), 0, "a just-filled block has age 0");
+        // Prefetch-shaped fill: no on_access, clock unchanged.
+        p.on_fill(0, 1, &read_site(2, 2));
+        assert_eq!(p.age(0, 1), 0, "a prefetched block starts at age 0");
+        // Subsequent demand traffic ages both blocks in lockstep.
+        for _ in 0..5 {
+            p.on_access(0, &demand);
+        }
+        assert_eq!(p.age(0, 0), 5);
+        assert_eq!(p.age(0, 1), 5);
+        // The invariant itself: no stored stamp exceeds its set clock.
+        for way in 0..2 {
+            assert!(p.last_touch[way] <= p.set_clock[0]);
+        }
     }
 
     #[test]

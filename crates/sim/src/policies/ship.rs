@@ -204,6 +204,43 @@ mod tests {
     }
 
     #[test]
+    fn pc_signature_stays_in_table_at_site_boundaries() {
+        // `>> (64 - 14)` keeps the *high* 14 bits of the Fibonacci product,
+        // so every signature is structurally < 2^14 — but an off-by-one in
+        // the shift (or a switch to masking low bits of a widened site)
+        // would panic on table indexing only for extreme sites. Pin the
+        // boundary sites and a spread of values.
+        let ship = Ship::new(1, 4, ShipSignature::Pc);
+        for site in [0u32, 1, u32::MAX - 1, u32::MAX] {
+            let sig = ship.signature(SiteId(site), 0);
+            assert!(
+                (sig as usize) < SHCT_ENTRIES,
+                "site {site} hashed to {sig}, outside the 2^14 table"
+            );
+        }
+        for step in 0..1000u32 {
+            let site = step.wrapping_mul(0x0101_0101).wrapping_add(step);
+            assert!((ship.signature(SiteId(site), 0) as usize) < SHCT_ENTRIES);
+        }
+        // Site 0 multiplies to 0 — the hash must still be a valid (if
+        // degenerate) index, not a sentinel.
+        assert_eq!(ship.signature(SiteId(0), 7), 0);
+    }
+
+    #[test]
+    fn boundary_sites_survive_end_to_end_training() {
+        // Drive real accesses from the boundary sites through a full cache
+        // so training (`train`) and lookup (`counter`) index the table too.
+        let mut c = one_set_cache(2, Box::new(Ship::new(1, 2, ShipSignature::Pc)));
+        for round in 0..50u64 {
+            for (i, site) in [0u32, u32::MAX].into_iter().enumerate() {
+                c.access(&read_site(round % 3 + 10 * i as u64, site));
+            }
+        }
+        assert_eq!(c.stats().hits + c.stats().misses, 100);
+    }
+
+    #[test]
     fn per_line_signatures_separate_mixed_reuse_better_than_one_site() {
         // The paper's core criticism (Section II-B): one access site touching
         // both hot and dead lines gets a single prediction, while per-line

@@ -125,6 +125,18 @@ mod tests {
     }
 
     #[test]
+    fn llc_mpki_is_zero_before_any_instruction_retires() {
+        // A hierarchy that has only prefetched (or been constructed) has
+        // misses but no retired instructions; MPKI must read 0, not NaN
+        // or infinity, so report sorting and plotting stay total.
+        let mut h = HierarchyStats::default();
+        h.llc.misses = 10;
+        assert_eq!(h.llc_mpki(), 0.0);
+        h.instructions = 2000;
+        assert!((h.llc_mpki() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn record_tracks_classes() {
         let mut s = CacheStats::default();
         s.record(true, RegionClass::Irregular);
